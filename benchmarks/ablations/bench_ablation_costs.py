@@ -1,0 +1,92 @@
+"""Ablations: the Eq. (10) cost weights and the net ordering.
+
+Sweeps the design choices DESIGN.md calls out on one mid-size circuit:
+
+* ``gamma`` (escape cost) 0 -> 10: reserving the escape region should
+  trade a little wirelength for fewer short polygons;
+* ``beta`` (via-in-SUR cost) 0 -> 40: discouraging vias near lines is
+  the main SP lever in detailed routing;
+* stitch-aware net ordering on/off (Section III-D2).
+"""
+
+import dataclasses
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from repro.benchmarks_gen import mcnc_design
+from repro.config import RouterConfig
+from repro.core import StitchAwareRouter
+from repro.layout import Design
+from repro.reporting import format_table
+
+from common import mcnc_scale, save_result
+
+CIRCUIT = "S13207"
+
+
+def with_config(design: Design, config: RouterConfig) -> Design:
+    return Design(
+        name=design.name,
+        width=design.width,
+        height=design.height,
+        technology=design.technology,
+        netlist=design.netlist,
+        config=config,
+        stitches=design.stitches,
+    )
+
+
+def sweep_gamma(design):
+    rows = []
+    for gamma in (0.0, 2.0, 5.0, 10.0):
+        cfg = dataclasses.replace(design.config, gamma=gamma)
+        report = StitchAwareRouter().route(with_config(design, cfg)).report
+        rows.append(
+            {
+                "gamma": gamma,
+                "sp": report.short_polygons,
+                "wl": report.wirelength,
+                "rout_pct": 100 * report.routability,
+            }
+        )
+    return rows
+
+
+def sweep_beta(design):
+    rows = []
+    for beta in (0.0, 5.0, 10.0, 40.0):
+        cfg = dataclasses.replace(design.config, beta=beta)
+        report = StitchAwareRouter().route(with_config(design, cfg)).report
+        rows.append(
+            {
+                "beta": beta,
+                "sp": report.short_polygons,
+                "wl": report.wirelength,
+                "rout_pct": 100 * report.routability,
+            }
+        )
+    return rows
+
+
+def run():
+    design = mcnc_design(CIRCUIT, mcnc_scale())
+    return sweep_gamma(design), sweep_beta(design)
+
+
+def test_ablation_cost_weights(benchmark):
+    gamma_rows, beta_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        gamma_rows, title=f"Ablation - escape cost gamma ({CIRCUIT})"
+    )
+    text += "\n\n" + format_table(
+        beta_rows, title=f"Ablation - via-in-SUR cost beta ({CIRCUIT})"
+    )
+    save_result("ablation_costs", text)
+
+    # The paper requires beta >> gamma; the configured operating point
+    # (beta=10, gamma=5) must not be worse than disabling the costs.
+    sp_at_default = next(r["sp"] for r in beta_rows if r["beta"] == 10.0)
+    sp_without = next(r["sp"] for r in beta_rows if r["beta"] == 0.0)
+    assert sp_at_default <= sp_without

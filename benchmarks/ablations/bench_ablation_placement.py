@@ -1,0 +1,68 @@
+"""Extension experiment: stitch-aware placement refinement.
+
+The paper's conclusion proposes stitch-aware *placement* as future work
+to remove the via violations caused by fixed pins on stitching lines.
+This bench quantifies that proposal with the bounded-displacement
+refinement pass of :mod:`repro.place`: #VV before/after, the pin moves
+required, and the side effect on short polygons.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from repro.benchmarks_gen import mcnc_design
+from repro.core import StitchAwareRouter
+from repro.place import refine_pin_placement
+from repro.reporting import format_table
+
+from common import mcnc_scale, save_result
+
+CIRCUITS = ("Struct", "S5378", "S9234")
+
+
+def run(scale):
+    rows = []
+    for name in CIRCUITS:
+        design = mcnc_design(name, scale)
+        before = StitchAwareRouter().route(design).report
+        refinement = refine_pin_placement(design)
+        after = StitchAwareRouter().route(refinement.design).report
+        rows.append(
+            {
+                "circuit": name,
+                "vv_before": before.via_violations,
+                "vv_after": after.via_violations,
+                "pins_moved": refinement.moved_pins,
+                "unmovable": refinement.unmovable_pins,
+                "avg_shift": (
+                    refinement.total_displacement / refinement.moved_pins
+                    if refinement.moved_pins
+                    else 0.0
+                ),
+                "sp_before": before.short_polygons,
+                "sp_after": after.short_polygons,
+            }
+        )
+    return rows
+
+
+def test_ablation_placement_refinement(benchmark):
+    rows = benchmark.pedantic(
+        run, args=(mcnc_scale(),), rounds=1, iterations=1
+    )
+    table = format_table(
+        rows,
+        title=(
+            "Extension - stitch-aware placement refinement "
+            "(the paper's future work, Section V)"
+        ),
+    )
+    save_result("ablation_placement", table)
+
+    assert all(r["vv_after"] <= r["vv_before"] for r in rows)
+    total_before = sum(r["vv_before"] for r in rows)
+    total_after = sum(r["vv_after"] for r in rows)
+    assert total_before > 0
+    assert total_after < 0.2 * total_before

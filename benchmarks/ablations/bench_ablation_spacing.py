@@ -1,0 +1,58 @@
+"""Ablation: stitching-line spacing sweep.
+
+The paper fixes the spacing at 15 routing pitches.  Sweeping it shows
+the trade the MEBL system designer faces: denser stitching lines (more,
+narrower stripes -> higher throughput) create more cut patterns and
+more short-polygon pressure.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from repro.benchmarks_gen import MCNC_SPECS, generate_design
+from repro.config import RouterConfig
+from repro.core import BaselineRouter, StitchAwareRouter
+from repro.reporting import format_table
+
+from common import mcnc_scale, save_result
+
+CIRCUIT = "S13207"
+
+
+def run(scale):
+    rows = []
+    for spacing in (10, 15, 20, 30):
+        config = RouterConfig(stitch_spacing=spacing, tile_size=spacing)
+        design = generate_design(MCNC_SPECS[CIRCUIT], scale, config=config)
+        base = BaselineRouter().route(design).report
+        aware = StitchAwareRouter().route(design).report
+        rows.append(
+            {
+                "spacing": spacing,
+                "stitch_lines": len(design.stitches or ()),
+                "base_sp": base.short_polygons,
+                "aware_sp": aware.short_polygons,
+                "aware_rout_pct": 100 * aware.routability,
+            }
+        )
+    return rows
+
+
+def test_ablation_stitch_spacing(benchmark):
+    rows = benchmark.pedantic(
+        run, args=(mcnc_scale(),), rounds=1, iterations=1
+    )
+    table = format_table(
+        rows,
+        title=(
+            f"Ablation - stitching-line spacing ({CIRCUIT}); "
+            "denser stripes -> more baseline short polygons"
+        ),
+    )
+    save_result("ablation_spacing", table)
+
+    assert all(r["aware_sp"] <= r["base_sp"] for r in rows)
+    # Denser stitching lines create more baseline short polygons.
+    assert rows[0]["base_sp"] >= rows[-1]["base_sp"]

@@ -1,0 +1,65 @@
+"""Scaling study: runtime and quality vs instance size.
+
+Not a paper table — an engineering sanity check that the reproduction's
+comparative results are stable across instance sizes (the justification
+for running scaled benchmarks by default), and a record of the pure-
+Python runtime curve.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from repro.benchmarks_gen import mcnc_design
+from repro.core import BaselineRouter, StitchAwareRouter
+from repro.reporting import format_table
+
+from common import save_result
+
+CIRCUIT = "S13207"
+SCALES = (0.02, 0.05, 0.1)
+
+
+def run():
+    rows = []
+    for scale in SCALES:
+        design = mcnc_design(CIRCUIT, scale)
+        base = BaselineRouter().route(design).report
+        aware = StitchAwareRouter().route(design).report
+        rows.append(
+            {
+                "scale": scale,
+                "nets": design.num_nets,
+                "base_sp": base.short_polygons,
+                "aware_sp": aware.short_polygons,
+                "sp_ratio": (
+                    aware.short_polygons / base.short_polygons
+                    if base.short_polygons
+                    else None
+                ),
+                "aware_rout": 100 * aware.routability,
+                "aware_cpu": aware.cpu_seconds,
+            }
+        )
+    return rows
+
+
+def test_scaling_stability(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        title=(
+            f"Scaling study ({CIRCUIT}): the SP reduction holds at "
+            "every instance size"
+        ),
+        decimals=3,
+    )
+    save_result("scaling", table)
+
+    for row in rows:
+        if row["sp_ratio"] is not None:
+            assert row["sp_ratio"] < 0.6
+        assert row["aware_rout"] > 93
+    # Runtime grows with size but stays laptop-scale.
+    assert rows[-1]["aware_cpu"] < 120

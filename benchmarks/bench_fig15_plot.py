@@ -1,0 +1,46 @@
+"""Figure 15 — full-chip routing plot of S38417.
+
+Routes the synthetic S38417 with the stitch-aware framework and writes
+the SVG corresponding to the paper's Fig. 15 (all layers, stitching
+lines dashed, pins and vias drawn).
+"""
+
+import pathlib
+
+from repro.benchmarks_gen import mcnc_design
+from repro.core import StitchAwareRouter
+from repro.viz import render_routing_svg
+
+from common import RESULTS_DIR, mcnc_scale, save_result
+
+
+def run(scale):
+    design = mcnc_design("S38417", scale)
+    flow = StitchAwareRouter().route(design)
+    svg = render_routing_svg(flow.detailed_result)
+    return design, flow, svg
+
+
+def test_fig15_routing_plot(benchmark):
+    scale = mcnc_scale()
+    design, flow, svg = benchmark.pedantic(
+        run, args=(scale,), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "fig15_s38417.svg"
+    out.write_text(svg)
+    summary = (
+        f"Fig. 15 - S38417 routing result (scale {scale})\n"
+        f"nets routed: {flow.report.routed_nets}/{flow.report.total_nets} "
+        f"({100 * flow.report.routability:.2f}%)\n"
+        f"short polygons: {flow.report.short_polygons}\n"
+        f"svg: {out}"
+    )
+    save_result("fig15_plot", summary)
+
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert flow.report.routability > 0.95
+    # The plot must actually show the layout: wires on several layers
+    # and the stitching lines.
+    assert "stroke-dasharray" in svg
+    assert svg.count("<line") > design.num_nets

@@ -1,0 +1,82 @@
+"""Figure 16 — local view: short polygons avoided by stitch awareness.
+
+Routes one circuit with both routers, locates a short polygon the
+baseline produced, and writes windowed before/after SVG close-ups plus
+an ASCII rendering of the repaired window.  The stitch-aware view must
+contain no short polygon inside the same window.
+"""
+
+from repro.benchmarks_gen import mcnc_design
+from repro.core import BaselineRouter, StitchAwareRouter
+from repro.detailed.wiring import short_polygon_sites, trim_dangling
+from repro.geometry import Rect
+from repro.viz import render_layer_ascii, render_routing_svg
+
+from common import RESULTS_DIR, mcnc_scale, save_result
+
+
+def sp_locations(result, design):
+    assert design.stitches is not None
+    spots = []
+    for record in result.nets.values():
+        edges = trim_dangling(record.edges, record.pin_nodes)
+        for crossing, _end in short_polygon_sites(
+            edges, record.pin_nodes, design.stitches
+        ):
+            spots.append(crossing)
+    return spots
+
+
+def run(scale):
+    design = mcnc_design("S13207", scale)
+    baseline = BaselineRouter().route(design)
+    aware = StitchAwareRouter().route(design)
+    return design, baseline, aware
+
+
+def test_fig16_dogleg_closeup(benchmark):
+    scale = mcnc_scale()
+    design, baseline, aware = benchmark.pedantic(
+        run, args=(scale,), rounds=1, iterations=1
+    )
+    before_spots = sp_locations(baseline.detailed_result, design)
+    after_spots = set(sp_locations(aware.detailed_result, design))
+    assert before_spots, "baseline must produce short polygons"
+
+    # Pick a baseline short polygon whose window is clean afterwards.
+    margin = 10
+    window = None
+    for line_x, y, _layer in before_spots:
+        candidate = Rect(
+            max(0, line_x - margin),
+            max(0, y - margin),
+            min(design.width - 1, line_x + margin),
+            min(design.height - 1, y + margin),
+        )
+        if not any(
+            candidate.contains_rect(Rect(x, yy, x, yy))
+            for x, yy, _l in after_spots
+        ):
+            window = candidate
+            break
+    assert window is not None, "some window must be fully repaired"
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for tag, flow in (("before", baseline), ("after", aware)):
+        svg = render_routing_svg(flow.detailed_result, window=window)
+        (RESULTS_DIR / f"fig16_{tag}.svg").write_text(svg)
+
+    ascii_view = render_layer_ascii(
+        aware.detailed_result, layer=1, window=window
+    )
+    summary = (
+        f"Fig. 16 - short polygon avoidance (window {window})\n"
+        f"baseline short polygons in design: "
+        f"{baseline.report.short_polygons}\n"
+        f"stitch-aware short polygons in design: "
+        f"{aware.report.short_polygons}\n"
+        f"svgs: fig16_before.svg / fig16_after.svg\n\n"
+        f"stitch-aware layer 1 close-up:\n{ascii_view}"
+    )
+    save_result("fig16_doglegs", summary)
+    assert aware.report.short_polygons < baseline.report.short_polygons

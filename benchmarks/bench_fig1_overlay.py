@@ -1,0 +1,49 @@
+"""Figure 1b — overlay-error tolerance per pattern type.
+
+Quantifies the motivating figure: patterns cut by a stitching line are
+written by two beams whose overlay error shifts one half.  Horizontal
+wires tolerate it; vias and vertical wires on the line do not — the
+origin of the via constraint and the vertical routing constraint.
+"""
+
+from repro.raster import overlay_study
+from repro.reporting import format_table
+
+from common import save_result
+
+
+def run():
+    rows = []
+    for d in overlay_study(overlays=((1, 0), (2, 0), (1, 1))):
+        rows.append(
+            {
+                "pattern": d.pattern,
+                "overlay_dx": d.overlay[0],
+                "overlay_dy": d.overlay[1],
+                "misprint_ratio": d.distortion,
+            }
+        )
+    return rows
+
+
+def test_fig1_overlay_tolerance(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        title=(
+            "Fig. 1b - pattern distortion under stripe overlay error\n"
+            "(horizontal wires tolerate it; vias / vertical wires on "
+            "the line do not)"
+        ),
+        decimals=3,
+    )
+    save_result("fig1_overlay", table)
+
+    by_pattern = {}
+    for r in rows:
+        by_pattern.setdefault(r["pattern"], []).append(r["misprint_ratio"])
+    h_worst = max(by_pattern["horizontal wire"])
+    via_best = min(by_pattern["via"])
+    v_best = min(by_pattern["vertical wire"])
+    assert h_worst < via_best, "vias must be far more overlay-sensitive"
+    assert h_worst < v_best, "vertical wires must be far more sensitive"

@@ -1,0 +1,43 @@
+"""Table I — MCNC benchmark circuit characteristics.
+
+Regenerates the suite at benchmark scale and prints the same columns
+as the paper (circuit, size, #layers, #nets, #pins) plus the full-size
+reference counts the generator targets.
+"""
+
+from repro.benchmarks_gen import MCNC_NAMES, MCNC_SPECS, mcnc_design
+from repro.reporting import format_table
+
+from common import mcnc_scale, save_result
+
+
+def build_rows(scale):
+    rows = []
+    for name in MCNC_NAMES:
+        design = mcnc_design(name, scale)
+        spec = MCNC_SPECS[name]
+        rows.append(
+            {
+                "circuit": name,
+                "size": f"{design.width}x{design.height}",
+                "layers": design.technology.num_layers,
+                "nets": design.num_nets,
+                "pins": design.num_pins,
+                "full_nets": spec.nets,
+                "full_pins": spec.pins,
+            }
+        )
+    return rows
+
+
+def test_table1_mcnc_characteristics(benchmark):
+    scale = mcnc_scale()
+    rows = benchmark.pedantic(build_rows, args=(scale,), rounds=1, iterations=1)
+    table = format_table(
+        rows, title=f"Table I - MCNC benchmark circuits (scale {scale})"
+    )
+    save_result("table1_mcnc", table)
+    assert len(rows) == 9
+    for row in rows:
+        assert row["layers"] == 3
+        assert row["nets"] >= 2

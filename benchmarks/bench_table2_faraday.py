@@ -1,0 +1,37 @@
+"""Table II — Faraday benchmark circuit characteristics."""
+
+from repro.benchmarks_gen import FARADAY_NAMES, FARADAY_SPECS, faraday_design
+from repro.reporting import format_table
+
+from common import faraday_scale, save_result
+
+
+def build_rows(scale):
+    rows = []
+    for name in FARADAY_NAMES:
+        design = faraday_design(name, scale)
+        spec = FARADAY_SPECS[name]
+        rows.append(
+            {
+                "circuit": name,
+                "size": f"{design.width}x{design.height}",
+                "layers": design.technology.num_layers,
+                "nets": design.num_nets,
+                "pins": design.num_pins,
+                "full_nets": spec.nets,
+                "full_pins": spec.pins,
+            }
+        )
+    return rows
+
+
+def test_table2_faraday_characteristics(benchmark):
+    scale = faraday_scale()
+    rows = benchmark.pedantic(build_rows, args=(scale,), rounds=1, iterations=1)
+    table = format_table(
+        rows, title=f"Table II - Faraday benchmark circuits (scale {scale})"
+    )
+    save_result("table2_faraday", table)
+    assert len(rows) == 5
+    for row in rows:
+        assert row["layers"] == 6

@@ -1,0 +1,72 @@
+"""Table IV — stitch-aware global routing: line-end consideration.
+
+On the six "hard" MCNC circuits (congestion-stressed variants, see
+``mcnc_stress_design``): total and maximum vertex overflow, wirelength
+and CPU with and without the line-end (vertex) term of Eqs. (2)-(3).
+The paper's shape: overflow drops to (near) zero at ~1.5% wirelength.
+"""
+
+from repro.benchmarks_gen import MCNC_HARD_NAMES, mcnc_stress_design
+from repro.globalroute import GlobalRouter
+from repro.reporting import format_table
+
+from common import mcnc_scale, save_result
+
+COLUMNS = [
+    "circuit",
+    "wo_tvof", "wo_mvof", "wo_wl", "wo_cpu",
+    "w_tvof", "w_mvof", "w_wl", "w_cpu",
+]
+
+
+def run(scale):
+    rows = []
+    for name in MCNC_HARD_NAMES:
+        design = mcnc_stress_design(name, scale)
+        without = GlobalRouter(stitch_aware=False).route(design)
+        with_ends = GlobalRouter(stitch_aware=True).route(design)
+        rows.append(
+            {
+                "circuit": name,
+                "wo_tvof": without.total_vertex_overflow,
+                "wo_mvof": without.max_vertex_overflow,
+                "wo_wl": without.wirelength,
+                "wo_cpu": without.cpu_seconds,
+                "w_tvof": with_ends.total_vertex_overflow,
+                "w_mvof": with_ends.max_vertex_overflow,
+                "w_wl": with_ends.wirelength,
+                "w_cpu": with_ends.cpu_seconds,
+            }
+        )
+    return rows
+
+
+def test_table4_global_routing_line_ends(benchmark):
+    scale = mcnc_scale()
+    rows = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+    wo_tvof = sum(r["wo_tvof"] for r in rows)
+    w_tvof = sum(r["w_tvof"] for r in rows)
+    wo_wl = sum(r["wo_wl"] for r in rows)
+    w_wl = sum(r["w_wl"] for r in rows)
+    comp = {
+        "circuit": "Comp.",
+        "wo_tvof": 1.0,
+        "wo_wl": 1.0,
+        "w_tvof": (w_tvof / wo_tvof) if wo_tvof else None,
+        "w_wl": w_wl / wo_wl,
+    }
+    table = format_table(
+        rows + [comp],
+        columns=COLUMNS,
+        title=(
+            "Table IV - global routing without vs with line-end "
+            "consideration\n(paper Comp. row: TVOF 0.001, MVOF 0.028, "
+            "WL 1.015)"
+        ),
+        decimals=3,
+    )
+    save_result("table4_global", table)
+
+    assert wo_tvof > 0, "stress variants must show vertex overflow"
+    assert w_tvof < 0.35 * wo_tvof
+    assert w_wl < 1.3 * wo_wl

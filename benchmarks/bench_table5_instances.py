@@ -1,0 +1,34 @@
+"""Table V — characteristics of the 50 layer-assignment instances."""
+
+from repro.assign import instance_suite, suite_stats
+from repro.reporting import format_table
+
+from common import save_result
+
+
+def run():
+    return suite_stats(instance_suite())
+
+
+def test_table5_instance_characteristics(benchmark):
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            {
+                "instances": stats.count,
+                "seg_density_max": stats.max_segment_density,
+                "seg_density_avg": stats.avg_segment_density,
+                "end_density_max": stats.max_line_end_density,
+                "end_density_avg": stats.avg_line_end_density,
+            }
+        ],
+        title=(
+            "Table V - layer assignment instances\n"
+            "(paper: seg density max 11.68 avg 5.72; "
+            "line-end density max 6.06 avg 2.00)"
+        ),
+    )
+    save_result("table5_instances", table)
+    assert stats.count == 50
+    assert 8 <= stats.max_segment_density <= 14
+    assert 4 <= stats.max_line_end_density <= 8

@@ -1,0 +1,64 @@
+"""Route an MCNC circuit end to end and emit the Fig. 15 style plot.
+
+Generates the synthetic S38417 (scaled for quick turnaround), routes it
+with the baseline and the stitch-aware framework, prints a Table III
+style comparison, and writes ``s38417_routing.svg`` — the full-chip
+routing view corresponding to Fig. 15 of the paper.
+
+Run:  python examples/mcnc_full_flow.py [scale]
+"""
+
+import sys
+import time
+
+from repro import BaselineRouter, StitchAwareRouter
+from repro.benchmarks_gen import mcnc_design
+from repro.reporting import format_table
+from repro.viz import render_routing_svg
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.03
+    design = mcnc_design("S38417", scale=scale)
+    print(
+        f"S38417 at scale {scale}: {design.num_nets} nets, "
+        f"{design.num_pins} pins, die {design.width}x{design.height}, "
+        f"{len(design.stitches)} stitching lines"
+    )
+
+    rows = []
+    svg_source = None
+    for label, router in (
+        ("baseline", BaselineRouter()),
+        ("stitch-aware", StitchAwareRouter()),
+    ):
+        start = time.perf_counter()
+        result = router.route(design)
+        elapsed = time.perf_counter() - start
+        report = result.report
+        rows.append(
+            {
+                "router": label,
+                "rout_pct": 100 * report.routability,
+                "vv": report.via_violations,
+                "sp": report.short_polygons,
+                "wl": report.wirelength,
+                "cpu_s": elapsed,
+            }
+        )
+        if label == "stitch-aware":
+            svg_source = result.detailed_result
+
+    print()
+    print(format_table(rows, title="S38417 routing comparison (Table III row)"))
+
+    assert svg_source is not None
+    svg = render_routing_svg(svg_source)
+    out = "s38417_routing.svg"
+    with open(out, "w") as f:
+        f.write(svg)
+    print(f"\nwrote {out} (the Fig. 15 full-chip view)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: route a small design with the stitch-aware framework.
+
+Builds a toy MEBL routing instance, runs both the baseline and the
+stitch-aware router, and prints the violation report plus an ASCII view
+of the lowest metal layer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BaselineRouter, RouterConfig, StitchAwareRouter
+from repro.geometry import Point, Rect
+from repro.layout import Design, Net, Netlist, Pin, Technology
+from repro.viz import render_layer_ascii
+
+
+def build_design() -> Design:
+    """A 90x60 die, 3 metal layers, stitching lines every 15 pitches."""
+    nets = []
+    pin_pairs = [
+        ((3, 5), (70, 40)),
+        ((20, 10), (50, 50)),
+        ((14, 30), (40, 30)),   # pin right next to a stitching line
+        ((60, 8), (88, 55)),
+        ((5, 45), (35, 12)),
+        ((75, 20), (15, 55)),
+    ]
+    for i, (a, b) in enumerate(pin_pairs):
+        nets.append(
+            Net(
+                f"net{i}",
+                (Pin(f"net{i}.a", Point(*a), 1), Pin(f"net{i}.b", Point(*b), 1)),
+            )
+        )
+    return Design(
+        name="quickstart",
+        width=90,
+        height=60,
+        technology=Technology(3),
+        netlist=Netlist(nets),
+        config=RouterConfig(),
+    )
+
+
+def main() -> None:
+    design = build_design()
+    print(f"design: {design.name}, {design.width}x{design.height} pitches, "
+          f"{design.num_nets} nets, stitching lines at {list(design.stitches)}")
+
+    for label, router in (
+        ("baseline (stitch-oblivious)", BaselineRouter()),
+        ("stitch-aware framework", StitchAwareRouter()),
+    ):
+        result = router.route(design)
+        r = result.report
+        print(f"\n== {label} ==")
+        print(f"  routability        : {100 * r.routability:.1f}%")
+        print(f"  short polygons     : {r.short_polygons}")
+        print(f"  via violations     : {r.via_violations}")
+        print(f"  vertical violations: {r.vertical_violations}")
+        print(f"  wirelength / vias  : {r.wirelength} / {r.vias}")
+
+    result = StitchAwareRouter().route(design)
+    print("\nlayer 1 (| = stitching line, - wire, o pin, x via):")
+    print(render_layer_ascii(result.detailed_result, layer=1,
+                             window=Rect(0, 0, 89, 25)))
+
+
+if __name__ == "__main__":
+    main()

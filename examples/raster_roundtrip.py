@@ -1,0 +1,72 @@
+"""Route -> rasterize -> score: the full MEBL loop on real geometry.
+
+Routes a circuit with the baseline and the stitch-aware framework,
+rasterizes the short polygons each one left behind (exactly what the
+MEBL data-preparation flow would print), and compares their Fig. 4
+defect scores.  Also writes a PGM bitmap of one routed window so you
+can look at the dithered result.
+
+Run:  python examples/raster_roundtrip.py
+"""
+
+from repro import BaselineRouter, StitchAwareRouter
+from repro.benchmarks_gen import mcnc_design
+from repro.geometry import Rect
+from repro.raster import rasterize_window, save_pgm, score_short_polygons
+from repro.reporting import format_table
+
+
+def main() -> None:
+    design = mcnc_design("S13207", scale=0.05)
+    print(f"routing {design.name} ({design.num_nets} nets) twice...")
+
+    rows = []
+    for label, router in (
+        ("baseline", BaselineRouter()),
+        ("stitch-aware", StitchAwareRouter()),
+    ):
+        flow = router.route(design)
+        scores = score_short_polygons(flow.detailed_result)
+        rows.append(
+            {
+                "router": label,
+                "short_polygons": len(scores),
+                "mean_defect": (
+                    sum(s.relative_error for s in scores) / len(scores)
+                    if scores
+                    else 0.0
+                ),
+                "worst_defect": max(
+                    (s.relative_error for s in scores), default=0.0
+                ),
+            }
+        )
+        if label == "baseline":
+            baseline_result = flow.detailed_result
+
+    print()
+    print(
+        format_table(
+            rows,
+            title="Rasterized defect scores of routed short polygons",
+            decimals=3,
+        )
+    )
+    print(
+        "\nEvery short polygon the stitch-aware router avoids is a wire"
+        "\nstub that would have printed with the defect level above."
+    )
+
+    # A viewable bitmap of one routed window (layer 1, die corner).
+    window = Rect(0, 0, 44, 29)
+    gray, binary = rasterize_window(
+        baseline_result, window, layer=1, pixels_per_pitch=4
+    )
+    save_pgm(gray, "routed_window_gray.pgm")
+    save_pgm(binary, "routed_window_dithered.pgm")
+    print("\nwrote routed_window_gray.pgm / routed_window_dithered.pgm "
+          f"({gray.shape[1]}x{gray.shape[0]} px)")
+
+
+if __name__ == "__main__":
+    main()

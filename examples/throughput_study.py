@@ -1,0 +1,71 @@
+"""Why MEBL exists: throughput vs beam count (Section I motivation).
+
+Sweeps the number of parallel beams for a fixed die and prints wafers
+per hour, the stripe count, and therefore the number of stitching
+lines the router has to live with — the trade this whole library is
+about.
+
+Run:  python examples/throughput_study.py
+"""
+
+from repro.raster import WriterConfig, beams_for_target, estimate_throughput
+from repro.reporting import format_table
+
+
+def main() -> None:
+    # A 26x33 mm die at 5 nm pixels ~ 5.2e6 x 6.6e6 pixels; scaled to
+    # keep the arithmetic friendly while preserving every ratio.
+    width_px, height_px = 5_200_000, 6_600_000
+    base = WriterConfig(
+        pixel_rate_hz=5e9, stripe_width_pixels=65_000, overhead_s=60.0
+    )
+
+    # Real MEBL systems shrink the stripe to match the beam count
+    # (MAPPER: ~13k beams writing ~2 um stripes), so more parallelism
+    # means more stripes *and* more stitching lines — the trade this
+    # library's router exists to make safe.
+    rows = []
+    for beams in (1, 10, 100, 1_000, 13_000, 80_000):
+        stripe = max(2_000, width_px // beams)
+        config = WriterConfig(
+            pixel_rate_hz=base.pixel_rate_hz,
+            num_beams=beams,
+            stripe_width_pixels=stripe,
+            overhead_s=base.overhead_s,
+        )
+        est = estimate_throughput(config, width_px, height_px)
+        rows.append(
+            {
+                "beams": beams,
+                "stripes": est.num_stripes,
+                "stitch_lines": est.num_stitching_lines,
+                "wafer_time_s": est.write_time_s,
+                "wafers_per_hour": est.wafers_per_hour,
+            }
+        )
+    print(format_table(rows, title="MEBL throughput vs beam count"))
+
+    target = 1.0
+    needed = beams_for_target(
+        WriterConfig(
+            pixel_rate_hz=base.pixel_rate_hz,
+            stripe_width_pixels=10_000,
+            overhead_s=base.overhead_s,
+        ),
+        width_px,
+        height_px,
+        target_wafers_per_hour=target,
+    )
+    print(
+        f"\n{target:.0f} wafer/hour at 10k-pixel stripes needs >= {needed} "
+        f"beams (single-beam EBL delivers "
+        f"{rows[0]['wafers_per_hour']:.4f} wafers/hour)."
+    )
+    print(
+        "Each stripe boundary is a stitching line — the patterns this"
+        "\nlibrary's router keeps critical features away from."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Stitch-aware routing for multiple e-beam lithography (MEBL).
+
+Reproduction of Liu, Fang, Chang, "Stitch-Aware Routing for Multiple
+E-Beam Lithography" (DAC 2013; TCAD 2015 extended version).
+
+Public API tour:
+
+* :class:`repro.core.StitchAwareRouter` / ``BaselineRouter`` — full
+  routing flows (global routing -> layer/track assignment -> detailed
+  routing) with and without stitch awareness.
+* :mod:`repro.benchmarks_gen` — synthetic MCNC / Faraday suites
+  matching the paper's Table I/II statistics.
+* :mod:`repro.eval` — the violation checker producing the #VV / #SP /
+  routability columns of the paper's tables.
+* :mod:`repro.raster` — the MEBL data-preparation substrate (render,
+  dither, overlay, defect scoring) behind Figs. 3-4.
+* :mod:`repro.viz` — SVG / ASCII views of routed layouts (Figs. 15-16).
+"""
+
+from .config import DEFAULT_CONFIG, RouterConfig, benchmark_scale
+from .core import BaselineRouter, FlowResult, StitchAwareRouter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineRouter",
+    "DEFAULT_CONFIG",
+    "FlowResult",
+    "RouterConfig",
+    "StitchAwareRouter",
+    "benchmark_scale",
+]

@@ -1,0 +1,66 @@
+"""Directed acyclic graph utilities: topological order and longest path.
+
+The graph-based track assignment (Section III-C2) computes, for every
+interval, the minimum and maximum feasible track via *longest path* in
+the min/max track constraint graphs — both DAGs because "left of"
+induces a partial order on non-overlapping intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+Edge = Tuple[Hashable, Hashable, float]
+
+
+class CycleError(ValueError):
+    """Raised when a supposed DAG contains a cycle."""
+
+
+def topological_order(
+    vertices: Sequence[Hashable], edges: Iterable[Edge]
+) -> List[Hashable]:
+    """Kahn's algorithm; raises :class:`CycleError` on cycles."""
+    indegree: Dict[Hashable, int] = {v: 0 for v in vertices}
+    out: Dict[Hashable, List[Hashable]] = {v: [] for v in vertices}
+    for u, v, _ in edges:
+        out[u].append(v)
+        indegree[v] += 1
+    queue = [v for v in vertices if indegree[v] == 0]
+    order: List[Hashable] = []
+    while queue:
+        node = queue.pop()
+        order.append(node)
+        for succ in out[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(order) != len(indegree):
+        raise CycleError("graph contains a cycle")
+    return order
+
+
+def longest_path_lengths(
+    vertices: Sequence[Hashable],
+    edges: Sequence[Edge],
+    sources: Iterable[Hashable],
+) -> Dict[Hashable, float]:
+    """Longest path distance from any source to every reachable vertex.
+
+    Unreachable vertices are absent from the result.  Edge weights may
+    be any floats; the graph must be acyclic.
+    """
+    order = topological_order(vertices, edges)
+    out: Dict[Hashable, List[Tuple[Hashable, float]]] = {v: [] for v in vertices}
+    for u, v, w in edges:
+        out[u].append((v, w))
+    dist: Dict[Hashable, float] = {s: 0.0 for s in sources}
+    for node in order:
+        if node not in dist:
+            continue
+        base = dist[node]
+        for succ, weight in out[node]:
+            candidate = base + weight
+            if succ not in dist or candidate > dist[succ]:
+                dist[succ] = candidate
+    return dist

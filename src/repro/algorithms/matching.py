@@ -1,0 +1,89 @@
+"""Minimum-weight perfect matching on complete bipartite graphs.
+
+Used to merge the coloring groups of successive k-colorable vertex sets
+in the proposed layer-assignment heuristic (Section III-B, Fig. 9d):
+the two group families form the two sides, edge weights are the total
+conflict edge weight between two groups, and a min-weight perfect
+matching tells which groups to fuse.
+
+This is the O(n^3) Hungarian algorithm (Jonker–Volgenant style row
+reduction over a square cost matrix).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def hungarian(cost: Sequence[Sequence[float]]) -> List[int]:
+    """Solve the square assignment problem.
+
+    Args:
+        cost: an ``n x n`` matrix; ``cost[i][j]`` is the weight of
+            assigning row ``i`` to column ``j``.
+
+    Returns:
+        ``assignment`` where ``assignment[i]`` is the column matched to
+        row ``i``, minimizing the total cost.
+    """
+    n = len(cost)
+    if any(len(row) != n for row in cost):
+        raise ValueError("cost matrix must be square")
+    if n == 0:
+        return []
+
+    # Potentials over rows (u) and columns (v); way[j] remembers the
+    # previous column on the alternating path; p[j] is the row matched
+    # to column j (0 is a virtual unmatched row; 1-based internally).
+    INF = math.inf
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    p = [0] * (n + 1)
+    way = [0] * (n + 1)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [INF] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = INF
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                current = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [0] * n
+    for j in range(1, n + 1):
+        if p[j] != 0:
+            assignment[p[j] - 1] = j - 1
+    return assignment
+
+
+def matching_cost(
+    cost: Sequence[Sequence[float]], assignment: Sequence[int]
+) -> float:
+    """Total cost of ``assignment`` on ``cost``."""
+    return sum(cost[i][j] for i, j in enumerate(assignment))

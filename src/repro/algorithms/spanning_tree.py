@@ -1,0 +1,79 @@
+"""Maximum spanning forests and tree k-coloring.
+
+These implement the *baseline* layer-assignment heuristic of Chen et al.
+(reference [4] of the paper): build a maximum spanning tree of the
+segment conflict graph, then k-color the tree by depth so that
+heavy-weight conflict edges connect differently colored vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from .unionfind import DisjointSet
+
+Edge = Tuple[Hashable, Hashable, float]
+
+
+def maximum_spanning_forest(
+    vertices: Sequence[Hashable], edges: Sequence[Edge]
+) -> List[Edge]:
+    """Kruskal maximum-weight spanning forest.
+
+    Returns the chosen edges; isolated vertices simply contribute no
+    edges.  Ties are broken deterministically by edge order after the
+    stable sort.
+    """
+    ds = DisjointSet(vertices)
+    chosen: List[Edge] = []
+    for u, v, w in sorted(edges, key=lambda e: -e[2]):
+        if ds.union(u, v):
+            chosen.append((u, v, w))
+    return chosen
+
+
+def color_forest_by_depth(
+    vertices: Sequence[Hashable], tree_edges: Sequence[Edge], k: int
+) -> Dict[Hashable, int]:
+    """Color a forest with ``k`` colors by BFS depth modulo ``k``.
+
+    This is the tree-coloring rule of the maximum-spanning-tree
+    heuristic: each tree level gets the next color, so every tree edge
+    is bichromatic for any ``k >= 2``.  Roots are the smallest vertex of
+    each component (by repr ordering) for determinism.
+    """
+    if k < 2:
+        raise ValueError("tree coloring needs at least two colors")
+    adjacency: Dict[Hashable, List[Hashable]] = {v: [] for v in vertices}
+    for u, v, _ in tree_edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+
+    colors: Dict[Hashable, int] = {}
+    for root in sorted(adjacency, key=repr):
+        if root in colors:
+            continue
+        colors[root] = 0
+        frontier = [root]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: List[Hashable] = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if neighbor not in colors:
+                        colors[neighbor] = depth % k
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+    return colors
+
+
+def coloring_cost(
+    edges: Sequence[Edge], colors: Dict[Hashable, int]
+) -> float:
+    """Total weight of monochromatic edges under ``colors``.
+
+    This is the layer-assignment cost of Section IV-C: the total
+    conflict edge weight *not* cut by the coloring — smaller is better.
+    """
+    return sum(w for u, v, w in edges if colors[u] == colors[v])

@@ -1,0 +1,117 @@
+"""Rectilinear Steiner tree construction (greedy 1-Steiner).
+
+Multi-pin nets decompose into two-pin subnets for routing; the paper
+uses a spanning-tree decomposition, and this module offers the
+classic improvement: iteratively insert the Hanan grid point that most
+reduces the rectilinear spanning tree length (Kahng/Robins greedy
+1-Steiner), until no insertion helps.  The router exposes it as an
+option — wirelength drops a few percent on multi-pin nets while every
+experiment stays comparable with the paper's MST defaults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point2 = Tuple[int, int]
+
+
+def manhattan(a: Point2, b: Point2) -> int:
+    """Manhattan distance between two points."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def mst_length(points: Sequence[Point2]) -> int:
+    """Rectilinear spanning tree length of a point set (Prim)."""
+    if len(points) < 2:
+        return 0
+    in_tree = [False] * len(points)
+    dist = [manhattan(points[0], p) for p in points]
+    in_tree[0] = True
+    total = 0
+    for _ in range(len(points) - 1):
+        best = min(
+            (i for i in range(len(points)) if not in_tree[i]),
+            key=lambda i: dist[i],
+        )
+        total += dist[best]
+        in_tree[best] = True
+        for i in range(len(points)):
+            if not in_tree[i]:
+                d = manhattan(points[best], points[i])
+                if d < dist[i]:
+                    dist[i] = d
+    return total
+
+
+def mst_edges(points: Sequence[Point2]) -> List[Tuple[Point2, Point2]]:
+    """Rectilinear spanning tree edges of a point set (Prim)."""
+    if len(points) < 2:
+        return []
+    n = len(points)
+    in_tree = [False] * n
+    dist = [manhattan(points[0], p) for p in points]
+    parent = [0] * n
+    in_tree[0] = True
+    edges: List[Tuple[Point2, Point2]] = []
+    for _ in range(n - 1):
+        best = min(
+            (i for i in range(n) if not in_tree[i]), key=lambda i: dist[i]
+        )
+        edges.append((points[parent[best]], points[best]))
+        in_tree[best] = True
+        for i in range(n):
+            if not in_tree[i]:
+                d = manhattan(points[best], points[i])
+                if d < dist[i]:
+                    dist[i] = d
+                    parent[i] = best
+    return edges
+
+
+def steiner_points(points: Sequence[Point2], max_rounds: int = 8) -> List[Point2]:
+    """Greedy 1-Steiner: Hanan points that shorten the spanning tree.
+
+    Returns the inserted Steiner points (possibly empty).  Each round
+    evaluates every Hanan candidate and inserts the single best one;
+    rounds repeat until no candidate helps or ``max_rounds`` is hit.
+    """
+    terminals = list(dict.fromkeys(points))
+    if len(terminals) < 3:
+        return []
+    inserted: List[Point2] = []
+    current = list(terminals)
+    for _ in range(max_rounds):
+        base = mst_length(current)
+        xs = sorted({p[0] for p in current})
+        ys = sorted({p[1] for p in current})
+        best_gain = 0
+        best_point = None
+        occupied = set(current)
+        for x in xs:
+            for y in ys:
+                candidate = (x, y)
+                if candidate in occupied:
+                    continue
+                gain = base - mst_length(current + [candidate])
+                if gain > best_gain:
+                    best_gain = gain
+                    best_point = candidate
+        if best_point is None:
+            break
+        inserted.append(best_point)
+        current.append(best_point)
+    return inserted
+
+
+def steiner_tree_edges(
+    points: Sequence[Point2], max_rounds: int = 8
+) -> List[Tuple[Point2, Point2]]:
+    """Spanning edges over terminals plus greedy Steiner points.
+
+    The returned edges connect the augmented point set; their summed
+    Manhattan length is never longer than the plain spanning tree.
+    """
+    terminals = list(dict.fromkeys(points))
+    augmented = terminals + steiner_points(terminals, max_rounds)
+    return mst_edges(augmented)

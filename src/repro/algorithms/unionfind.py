@@ -1,0 +1,61 @@
+"""Disjoint-set (union-find) with path compression and union by rank."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+
+class DisjointSet:
+    """Classic union-find over arbitrary hashable items.
+
+    Items are added lazily on first use.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set if unseen."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Representative of ``item``'s set (adds the item if unseen)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def __len__(self) -> int:
+        return len(self._parent)

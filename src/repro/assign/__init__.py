@@ -1,0 +1,78 @@
+"""Layer and track assignment (Sections III-B and III-C)."""
+
+from .conflict_graph import build_conflict_graph, vertex_weights
+from .flow_coloring import flow_kcoloring
+from .instances import (
+    InstanceStats,
+    instance_suite,
+    random_instance,
+    suite_stats,
+)
+from .layer_assign import (
+    ColoringMethod,
+    LayerAssignment,
+    PanelAssignment,
+    assign_layers,
+    assign_panel,
+    order_groups_for_vias,
+)
+from .mst_coloring import mst_kcoloring
+from .panels import (
+    Panel,
+    PanelKind,
+    PanelSegment,
+    extract_panels,
+    runs_of_path,
+)
+
+__all__ = [
+    "ColoringMethod",
+    "InstanceStats",
+    "LayerAssignment",
+    "Panel",
+    "PanelAssignment",
+    "PanelKind",
+    "PanelSegment",
+    "assign_layers",
+    "assign_panel",
+    "build_conflict_graph",
+    "extract_panels",
+    "flow_kcoloring",
+    "instance_suite",
+    "mst_kcoloring",
+    "order_groups_for_vias",
+    "random_instance",
+    "runs_of_path",
+    "suite_stats",
+    "vertex_weights",
+]
+
+from .track_assign import (
+    DesignTrackAssignment,
+    TrackMethod,
+    assign_tracks,
+)
+from .track_baseline import assign_tracks_baseline
+from .track_common import (
+    TrackAssignmentResult,
+    TrackRegion,
+    find_bad_ends,
+    regions_of_span,
+    validate_assignment,
+)
+from .track_graph import assign_tracks_graph
+from .track_ilp import assign_tracks_ilp
+
+__all__ += [
+    "DesignTrackAssignment",
+    "TrackAssignmentResult",
+    "TrackMethod",
+    "TrackRegion",
+    "assign_tracks",
+    "assign_tracks_baseline",
+    "assign_tracks_graph",
+    "assign_tracks_ilp",
+    "find_bad_ends",
+    "regions_of_span",
+    "validate_assignment",
+]

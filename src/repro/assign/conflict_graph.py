@@ -1,0 +1,65 @@
+"""Segment conflict graphs with the edge weights of Eq. (4).
+
+For each panel, a vertex is a segment and an edge connects two segments
+intersecting in some tiles.  The edge weight combines
+
+* ``D_segment(vi, vj)`` — the maximum segment density over the tiles
+  where the two segments overlap, and
+* ``D_end(vi, vj)`` — the maximum line-end density over the tiles where
+  line ends of both segments coincide (column panels only; row-panel
+  line ends do not create short polygons).
+
+Solving maximum-cut k-coloring on this graph distributes both wire
+density and line-end density across the k layers (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..geometry import overlapping_pairs
+from .panels import Panel, PanelKind
+
+Edge = Tuple[int, int, float]
+
+
+def build_conflict_graph(panel: Panel) -> Tuple[List[int], List[Edge]]:
+    """Vertices (segment indices) and weighted edges of a panel.
+
+    Edge weights follow Eq. (4); the line-end term is dropped for row
+    panels.
+    """
+    vertices = [seg.index for seg in panel.segments]
+    spans = [seg.span for seg in panel.segments]
+    segment_density = panel.segment_density()
+    end_density = panel.line_end_density()
+    include_ends = panel.kind is PanelKind.COLUMN
+
+    edges: List[Edge] = []
+    for a, b in overlapping_pairs(spans):
+        seg_a, seg_b = panel.segments[a], panel.segments[b]
+        overlap = seg_a.span.intersection(seg_b.span)
+        assert overlap is not None
+        d_segment = max(
+            segment_density[row] for row in range(overlap.lo, overlap.hi + 1)
+        )
+        d_end = 0
+        if include_ends:
+            shared_end_rows = set(seg_a.line_end_rows) & set(
+                seg_b.line_end_rows
+            )
+            if shared_end_rows:
+                d_end = max(end_density[row] for row in shared_end_rows)
+        edges.append((seg_a.index, seg_b.index, float(d_segment + d_end)))
+    return vertices, edges
+
+
+def vertex_weights(
+    vertices: List[int], edges: List[Edge]
+) -> Dict[int, float]:
+    """Sum of incident edge weights per vertex (Section III-B)."""
+    weights = {v: 0.0 for v in vertices}
+    for u, v, w in edges:
+        weights[u] += w
+        weights[v] += w
+    return weights

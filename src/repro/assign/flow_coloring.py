@@ -1,0 +1,120 @@
+"""The proposed layer-assignment heuristic (Section III-B, Fig. 9c-e).
+
+Iteratively extract from the remaining conflict graph a k-colorable
+vertex set of maximum total vertex weight (vertex weight = sum of
+incident edge weights).  On interval graphs this subproblem is solved
+exactly in polynomial time with a min-cost flow (Carlisle–Lloyd).  The
+coloring groups of each new set are merged into the accumulated groups
+with a minimum-weight perfect bipartite matching, where the cost of
+fusing two groups is the total conflict edge weight between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..algorithms import hungarian, max_weight_k_colorable
+from ..geometry import Interval
+from .conflict_graph import Edge, vertex_weights
+
+
+def flow_kcoloring(
+    vertices: List[int],
+    spans: Dict[int, Interval],
+    edges: List[Edge],
+    k: int,
+) -> Dict[int, int]:
+    """k-color a segment conflict graph by iterated max-weight extraction.
+
+    Args:
+        vertices: segment indices.
+        spans: the interval of each segment (the conflict graph must be
+            the interval graph of these spans).
+        edges: weighted conflict edges.
+        k: number of available layers (colors).
+
+    Returns:
+        A color in ``range(k)`` for every vertex.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    remaining = set(vertices)
+    groups: List[set] = [set() for _ in range(k)]
+    edge_lookup: Dict[int, List[Edge]] = {v: [] for v in vertices}
+    for u, v, w in edges:
+        edge_lookup[u].append((u, v, w))
+        edge_lookup[v].append((u, v, w))
+
+    first_round = True
+    while remaining:
+        ordered = sorted(remaining)
+        # Vertex weights over the *remaining* graph only.
+        live_edges = [
+            (u, v, w) for u, v, w in edges if u in remaining and v in remaining
+        ]
+        weights_map = vertex_weights(ordered, live_edges)
+        intervals = [spans[v] for v in ordered]
+        # Strictly positive weights keep zero-conflict vertices selectable.
+        weights = [weights_map[v] + 1e-6 for v in ordered]
+        selected_pos, colors_pos = max_weight_k_colorable(intervals, weights, k)
+        if not selected_pos:
+            # No interval fits (cannot happen: a single interval is
+            # always 1-colorable), guard against infinite loops anyway.
+            selected_pos = [0]
+            colors_pos = {0: 0}
+        new_groups: List[set] = [set() for _ in range(k)]
+        for pos in selected_pos:
+            new_groups[colors_pos[pos]].add(ordered[pos])
+        remaining -= {ordered[pos] for pos in selected_pos}
+
+        if first_round:
+            groups = new_groups
+            first_round = False
+        else:
+            groups = _merge_groups(groups, new_groups, edge_lookup)
+
+    coloring: Dict[int, int] = {}
+    for color, members in enumerate(groups):
+        for v in members:
+            coloring[v] = color
+    return coloring
+
+
+def _merge_groups(
+    groups: List[set],
+    new_groups: List[set],
+    edge_lookup: Dict[int, List[Edge]],
+) -> List[set]:
+    """Fuse new coloring groups into the accumulated ones (Fig. 9d).
+
+    A complete bipartite graph is built between the two group families
+    (padding with empty pseudo groups is implicit since both sides have
+    exactly k groups); edge weights are the total conflict edge weight
+    between the two groups, and a min-weight perfect matching decides
+    the fusion.
+    """
+    k = len(groups)
+    cost = [
+        [_conflict_between(groups[i], new_groups[j], edge_lookup) for j in range(k)]
+        for i in range(k)
+    ]
+    assignment = hungarian(cost)
+    merged = [set(groups[i]) | set(new_groups[assignment[i]]) for i in range(k)]
+    return merged
+
+
+def _conflict_between(
+    group_a: set, group_b: set, edge_lookup: Dict[int, List[Edge]]
+) -> float:
+    if not group_a or not group_b:
+        return 0.0
+    smaller, other = (
+        (group_a, group_b) if len(group_a) <= len(group_b) else (group_b, group_a)
+    )
+    total = 0.0
+    for v in smaller:
+        for u1, u2, w in edge_lookup[v]:
+            peer = u2 if u1 == v else u1
+            if peer in other:
+                total += w
+    return total

@@ -1,0 +1,154 @@
+"""Layer assignment driver (Section III-B).
+
+For each panel: build the segment conflict graph, k-color it with the
+chosen heuristic (k = number of layers in the panel's preferred
+direction), and map coloring groups to physical layers so that groups
+sharing many nets land on nearby layers — the via-minimizing group
+ordering adopted from [4].
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+from typing import Dict, List
+
+from ..algorithms import coloring_cost
+from ..layout import Technology
+from .conflict_graph import build_conflict_graph
+from .flow_coloring import flow_kcoloring
+from .mst_coloring import mst_kcoloring
+from .panels import Panel
+
+
+class ColoringMethod(enum.Enum):
+    """Which max-cut k-coloring heuristic to use."""
+
+    MST = "mst"
+    FLOW = "flow"
+
+
+@dataclasses.dataclass
+class PanelAssignment:
+    """Layer assignment of one panel."""
+
+    panel: Panel
+    layer_of_segment: Dict[int, int]
+    coloring_cost: float
+
+
+@dataclasses.dataclass
+class LayerAssignment:
+    """Layer assignment of every panel of a design."""
+
+    columns: Dict[int, PanelAssignment]
+    rows: Dict[int, PanelAssignment]
+    cpu_seconds: float
+
+    @property
+    def total_cost(self) -> float:
+        """Summed monochromatic conflict weight over all panels."""
+        return sum(
+            pa.coloring_cost
+            for group in (self.columns, self.rows)
+            for pa in group.values()
+        )
+
+
+def assign_panel(
+    panel: Panel,
+    k: int,
+    method: ColoringMethod = ColoringMethod.FLOW,
+    layers: List[int] | None = None,
+) -> PanelAssignment:
+    """k-color one panel and map colors to the given layer ids."""
+    if k < 1:
+        raise ValueError("need at least one layer")
+    layers = layers if layers is not None else list(range(k))
+    if len(layers) != k:
+        raise ValueError("layers list must have k entries")
+    vertices, edges = build_conflict_graph(panel)
+    if k == 1:
+        colors = {v: 0 for v in vertices}
+    elif method is ColoringMethod.MST:
+        colors = mst_kcoloring(vertices, edges, k)
+    else:
+        spans = {seg.index: seg.span for seg in panel.segments}
+        colors = flow_kcoloring(vertices, spans, edges, k)
+    cost = coloring_cost(edges, colors)
+    ordered = order_groups_for_vias(panel, colors, k)
+    layer_of_segment = {
+        v: layers[ordered.index(colors[v])] for v in vertices
+    }
+    return PanelAssignment(
+        panel=panel, layer_of_segment=layer_of_segment, coloring_cost=cost
+    )
+
+
+def order_groups_for_vias(
+    panel: Panel, colors: Dict[int, int], k: int
+) -> List[int]:
+    """Order coloring groups so net-sharing groups sit on close layers.
+
+    Greedy chaining on group affinity (number of nets present in both
+    groups): start from the heaviest-affinity pair and repeatedly
+    append the group with the highest affinity to the chain ends.
+    Returns the color ids in layer order.
+    """
+    nets_per_color: List[set] = [set() for _ in range(k)]
+    for seg in panel.segments:
+        nets_per_color[colors[seg.index]].add(seg.net)
+
+    def affinity(a: int, b: int) -> int:
+        return len(nets_per_color[a] & nets_per_color[b])
+
+    remaining = set(range(k))
+    if k == 1:
+        return [0]
+    best_pair = max(
+        (
+            (affinity(a, b), -a, -b, a, b)
+            for a in range(k)
+            for b in range(a + 1, k)
+        ),
+        default=(0, 0, 0, 0, 1),
+    )
+    chain = [best_pair[3], best_pair[4]]
+    remaining -= set(chain)
+    while remaining:
+        head, tail = chain[0], chain[-1]
+        candidate = max(
+            remaining, key=lambda c: (max(affinity(c, head), affinity(c, tail)), -c)
+        )
+        if affinity(candidate, head) >= affinity(candidate, tail):
+            chain.insert(0, candidate)
+        else:
+            chain.append(candidate)
+        remaining.discard(candidate)
+    return chain
+
+
+def assign_layers(
+    columns: Dict[int, Panel],
+    rows: Dict[int, Panel],
+    technology: Technology,
+    method: ColoringMethod = ColoringMethod.FLOW,
+) -> LayerAssignment:
+    """Layer-assign every panel of a design."""
+    start = time.perf_counter()
+    v_layers = technology.vertical_layers
+    h_layers = technology.horizontal_layers
+    column_result = {
+        pos: assign_panel(panel, len(v_layers), method, layers=v_layers)
+        for pos, panel in columns.items()
+    }
+    row_result = {
+        pos: assign_panel(panel, len(h_layers), method, layers=h_layers)
+        for pos, panel in rows.items()
+    }
+    return LayerAssignment(
+        columns=column_result,
+        rows=row_result,
+        cpu_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,23 @@
+"""Baseline layer assignment: maximum-spanning-tree k-coloring.
+
+The heuristic of Chen et al. [4] used as comparison in Table VI: build
+a maximum spanning tree of the segment conflict graph, then k-color the
+tree by BFS depth.  Every tree edge (the heavy ones) is guaranteed
+bichromatic, but off-tree edges are ignored — which is why the solution
+quality degrades as more layers become available (Fig. 9a-b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..algorithms import color_forest_by_depth, maximum_spanning_forest
+from .conflict_graph import Edge
+
+
+def mst_kcoloring(
+    vertices: List[int], edges: List[Edge], k: int
+) -> Dict[int, int]:
+    """k-color the conflict graph via its maximum spanning tree."""
+    forest = maximum_spanning_forest(vertices, edges)
+    return color_forest_by_depth(vertices, forest, k)

@@ -1,0 +1,161 @@
+"""Panels and wire segments between global and detailed routing.
+
+After 2-D global routing, every net's tile paths decompose into maximal
+straight runs.  A vertical run lives in a *column panel* (a column of
+global tiles) and a horizontal run in a *row panel* (Section III-B).
+Layer assignment distributes the segments of a panel over the layers of
+the matching preferred direction; track assignment then picks exact
+tracks inside the panel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Sequence, Tuple
+
+from ..geometry import Interval
+from ..globalroute import GlobalRoutingResult
+
+
+class PanelKind(enum.Enum):
+    """Panel orientation."""
+
+    COLUMN = "column"
+    ROW = "row"
+
+
+@dataclasses.dataclass(frozen=True)
+class PanelSegment:
+    """One maximal straight run of a net inside a panel.
+
+    Attributes:
+        net: owning net name.
+        index: id unique within the panel.
+        span: tile-index interval along the panel axis (rows for a
+            column panel, columns for a row panel).
+        has_low_end / has_high_end: whether the run terminates (with a
+            line end) at span.lo / span.hi, as opposed to continuing as
+            a pin connection inside the end tile.  Global-route runs
+            always terminate; the flags exist so callers can model
+            pass-through segments in unit tests.
+    """
+
+    net: str
+    index: int
+    span: Interval
+    has_low_end: bool = True
+    has_high_end: bool = True
+
+    @property
+    def line_end_rows(self) -> Tuple[int, ...]:
+        """Tile positions along the panel that hold a line end."""
+        rows = []
+        if self.has_low_end:
+            rows.append(self.span.lo)
+        if self.has_high_end:
+            rows.append(self.span.hi)
+        return tuple(rows)
+
+    @property
+    def length(self) -> int:
+        """Number of tiles the run covers."""
+        return self.span.length
+
+
+@dataclasses.dataclass
+class Panel:
+    """All segments of one panel."""
+
+    kind: PanelKind
+    position: int
+    segments: List[PanelSegment]
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def segment_density(self) -> Dict[int, int]:
+        """Per-tile segment density along the panel axis."""
+        density: Dict[int, int] = {}
+        for seg in self.segments:
+            for row in range(seg.span.lo, seg.span.hi + 1):
+                density[row] = density.get(row, 0) + 1
+        return density
+
+    def line_end_density(self) -> Dict[int, int]:
+        """Per-tile line-end density along the panel axis."""
+        density: Dict[int, int] = {}
+        for seg in self.segments:
+            for row in seg.line_end_rows:
+                density[row] = density.get(row, 0) + 1
+        return density
+
+    def max_segment_density(self) -> int:
+        """Worst per-tile segment density (0 when empty)."""
+        density = self.segment_density()
+        return max(density.values()) if density else 0
+
+    def max_line_end_density(self) -> int:
+        """Worst per-tile line-end density (0 when empty)."""
+        density = self.line_end_density()
+        return max(density.values()) if density else 0
+
+
+def runs_of_path(path: Sequence[Tuple[int, int]]) -> List[Tuple[str, int, Interval]]:
+    """Maximal straight runs of a tile path.
+
+    Returns tuples ``(kind, position, span)`` where ``kind`` is ``"v"``
+    (vertical run in column ``position`` spanning tile rows ``span``)
+    or ``"h"`` (horizontal run in row ``position`` spanning columns).
+    Runs of a single tile (a path that immediately turns) are attached
+    to the neighbouring runs and do not appear on their own.
+    """
+    runs: List[Tuple[str, int, Interval]] = []
+    if len(path) < 2:
+        return runs
+    start = 0
+    kind = "v" if path[1][0] == path[0][0] else "h"
+    for idx in range(1, len(path)):
+        step_kind = "v" if path[idx][0] == path[idx - 1][0] else "h"
+        if step_kind != kind:
+            runs.append(_run(kind, path[start], path[idx - 1]))
+            start = idx - 1
+            kind = step_kind
+    runs.append(_run(kind, path[start], path[-1]))
+    return runs
+
+
+def _run(
+    kind: str, a: Tuple[int, int], b: Tuple[int, int]
+) -> Tuple[str, int, Interval]:
+    if kind == "v":
+        return ("v", a[0], Interval(min(a[1], b[1]), max(a[1], b[1])))
+    return ("h", a[1], Interval(min(a[0], b[0]), max(a[0], b[0])))
+
+
+def extract_panels(
+    result: GlobalRoutingResult,
+) -> Tuple[Dict[int, Panel], Dict[int, Panel]]:
+    """Build the column and row panels of a global routing solution.
+
+    Returns ``(column_panels, row_panels)`` keyed by panel position.
+    """
+    graph = result.graph
+    columns: Dict[int, Panel] = {
+        i: Panel(PanelKind.COLUMN, i, []) for i in range(graph.nx)
+    }
+    rows: Dict[int, Panel] = {
+        j: Panel(PanelKind.ROW, j, []) for j in range(graph.ny)
+    }
+    for name in sorted(result.routes):
+        route = result.routes[name]
+        for path in route.paths:
+            for kind, position, span in runs_of_path(path):
+                if kind == "v":
+                    panel = columns[position]
+                else:
+                    panel = rows[position]
+                panel.segments.append(
+                    PanelSegment(net=name, index=len(panel.segments), span=span)
+                )
+    return columns, rows

@@ -1,0 +1,132 @@
+"""Design-level track assignment driver.
+
+Combines the layer assignment with per-(panel, layer) track assignment:
+column panels go through the selected short-polygon-avoiding algorithm
+(baseline / ILP / graph heuristic, Table VII); row panels use the
+conventional left-edge assigner for every method, since horizontal
+tracks are not constrained by (vertical) stitching lines.
+
+Nets owning a failed segment are reported so the detailed router can
+rip them up and route them directly (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+from typing import Dict, List, Set, Tuple
+
+from ..globalroute import GlobalGraph
+from ..layout import Design, StitchingLines
+from .layer_assign import LayerAssignment
+from .panels import Panel, PanelSegment
+from .track_baseline import assign_tracks_baseline
+from .track_common import TrackAssignmentResult
+from .track_graph import assign_tracks_graph
+from .track_ilp import assign_tracks_ilp
+
+#: Stitch-free line set used for row panels (y tracks are unaffected by
+#: vertical stitching lines).
+_NO_STITCHES = StitchingLines(())
+
+
+class TrackMethod(enum.Enum):
+    """Which column-panel track assignment algorithm to run."""
+
+    BASELINE = "baseline"
+    ILP = "ilp"
+    GRAPH = "graph"
+
+
+@dataclasses.dataclass
+class DesignTrackAssignment:
+    """Track assignment of every (panel, layer) of a design."""
+
+    columns: Dict[Tuple[int, int], TrackAssignmentResult]
+    rows: Dict[Tuple[int, int], TrackAssignmentResult]
+    failed_nets: Set[str]
+    cpu_seconds: float
+
+    @property
+    def num_bad_ends(self) -> int:
+        """Total bad ends over all column panels."""
+        return sum(r.num_bad_ends for r in self.columns.values())
+
+    def bad_ends_per_net(self) -> Dict[str, int]:
+        """Bad-end count per net (for stitch-aware net ordering)."""
+        counts: Dict[str, int] = {}
+        for result in self.columns.values():
+            by_index = {seg.index: seg for seg in result.panel.segments}
+            for seg_index, _row in result.bad_ends:
+                net = by_index[seg_index].net
+                counts[net] = counts.get(net, 0) + 1
+        return counts
+
+
+def assign_tracks(
+    design: Design,
+    graph: GlobalGraph,
+    layers: LayerAssignment,
+    method: TrackMethod = TrackMethod.GRAPH,
+) -> DesignTrackAssignment:
+    """Track-assign every panel of a globally routed design."""
+    assert design.stitches is not None
+    start = time.perf_counter()
+    columns: Dict[Tuple[int, int], TrackAssignmentResult] = {}
+    rows: Dict[Tuple[int, int], TrackAssignmentResult] = {}
+    failed_nets: Set[str] = set()
+
+    for pos, panel_assignment in layers.columns.items():
+        span = graph.tile_span((pos, 0))
+        xs = list(range(span.x_lo, span.x_hi + 1))
+        for layer, sub_panel in _split_by_layer(panel_assignment).items():
+            result = _run_column_method(method, sub_panel, xs, design.stitches)
+            columns[(pos, layer)] = result
+            failed_nets.update(_nets_of(sub_panel, result.failed))
+
+    for pos, panel_assignment in layers.rows.items():
+        span = graph.tile_span((0, pos))
+        ys = list(range(span.y_lo, span.y_hi + 1))
+        for layer, sub_panel in _split_by_layer(panel_assignment).items():
+            result = assign_tracks_baseline(sub_panel, ys, _NO_STITCHES)
+            rows[(pos, layer)] = result
+            failed_nets.update(_nets_of(sub_panel, result.failed))
+
+    return DesignTrackAssignment(
+        columns=columns,
+        rows=rows,
+        failed_nets=failed_nets,
+        cpu_seconds=time.perf_counter() - start,
+    )
+
+
+def _run_column_method(
+    method: TrackMethod,
+    panel: Panel,
+    xs: List[int],
+    stitches: StitchingLines,
+) -> TrackAssignmentResult:
+    if method is TrackMethod.BASELINE:
+        return assign_tracks_baseline(panel, xs, stitches)
+    if method is TrackMethod.ILP:
+        return assign_tracks_ilp(panel, xs, stitches)
+    return assign_tracks_graph(panel, xs, stitches)
+
+
+def _split_by_layer(panel_assignment) -> Dict[int, Panel]:
+    """Sub-panels per assigned layer, preserving segment indices."""
+    panel = panel_assignment.panel
+    by_layer: Dict[int, List[PanelSegment]] = {}
+    for seg in panel.segments:
+        layer = panel_assignment.layer_of_segment[seg.index]
+        by_layer.setdefault(layer, []).append(seg)
+    return {
+        layer: Panel(kind=panel.kind, position=panel.position, segments=segs)
+        for layer, segs in by_layer.items()
+    }
+
+
+def _nets_of(panel: Panel, failed_indices: List[int]) -> Set[str]:
+    failed = set(failed_indices)
+    return {seg.net for seg in panel.segments if seg.index in failed}

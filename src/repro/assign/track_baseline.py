@@ -1,0 +1,57 @@
+"""Conventional (stitch-oblivious) track assignment.
+
+The baseline of Tables III and VII: classic left-edge style assignment
+that minimizes track count and ignores stitching lines entirely.  Each
+segment gets one straight track (no doglegs).  Segments that land on a
+track occupied by a stitching line violate the vertical routing
+constraint; following Section IV-A, the caller rips those up and routes
+the nets directly in detailed routing — they are reported in
+``failed``.  Segments that simply do not fit (density above track
+count) are also reported as failed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..algorithms import greedy_interval_coloring
+from ..layout import StitchingLines
+from .panels import Panel
+from .track_common import TrackAssignmentResult, find_bad_ends
+
+
+def assign_tracks_baseline(
+    panel: Panel,
+    xs: Sequence[int],
+    stitches: StitchingLines,
+) -> TrackAssignmentResult:
+    """Left-edge track assignment onto the raw track list ``xs``.
+
+    Args:
+        panel: segments of one (panel, layer).
+        xs: every track coordinate of the panel span, including tracks
+            occupied by stitching lines (the baseline does not know
+            about them).
+        stitches: used only to *report* which placements ended up on
+            stitching lines (failed) and which line ends are bad.
+    """
+    colors = greedy_interval_coloring([seg.span for seg in panel.segments])
+    tracks: Dict[int, Dict[int, int]] = {}
+    failed: List[int] = []
+    for position, seg in enumerate(panel.segments):
+        color = colors[position]
+        if color >= len(xs):
+            failed.append(seg.index)
+            continue
+        x = xs[color]
+        if stitches.is_on_line(x):
+            # Vertical routing violation: rip up (Section IV-A).
+            failed.append(seg.index)
+            continue
+        tracks[seg.index] = {
+            row: x for row in range(seg.span.lo, seg.span.hi + 1)
+        }
+    bad = find_bad_ends(panel.segments, tracks, stitches)
+    return TrackAssignmentResult(
+        panel=panel, tracks=tracks, failed=failed, bad_ends=bad
+    )

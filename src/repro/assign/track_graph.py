@@ -1,0 +1,337 @@
+"""Graph-based short-polygon-avoiding track assignment (Section III-C2).
+
+Per track region (the tracks between two stitching lines):
+
+1. **Segment ordering** — longer segments are placed next to the
+   stitching lines (they have the flexibility to dogleg away from bad
+   ends); segments not overlapping those tentative bad ends come next;
+   the rest fill the middle (Fig. 11a-b).
+2. **Interval splitting** — each segment is divided into one interval
+   per global tile row (Fig. 11c).
+3. **Constraint graphs** — the minimum and maximum track constraint
+   graphs encode "interval i is left of interval j" with unit edges;
+   a dummy vertex with a source edge weighted by the stitch-unfriendly
+   width keeps line-end intervals off unfriendly tracks.  DAG longest
+   paths give each interval its feasible window ``[m, M]`` (Fig. 11d).
+4. **Sequential assignment** — tracks are chosen left to right inside
+   the windows, preferring a single straight track per segment and
+   using doglegs only where needed (Fig. 11e).
+
+When density makes bad ends unavoidable, the dummy constraints of the
+affected intervals are relaxed (they become recorded bad ends) rather
+than failing the segment; segments are only failed when raw density
+exceeds the region's track count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms import longest_path_lengths
+from ..geometry import Interval
+from ..layout import StitchingLines
+from .panels import Panel, PanelSegment
+from .track_common import (
+    TrackAssignmentResult,
+    TrackRegion,
+    find_bad_ends,
+    regions_of_span,
+)
+
+
+def assign_tracks_graph(
+    panel: Panel,
+    xs: Sequence[int],
+    stitches: StitchingLines,
+) -> TrackAssignmentResult:
+    """Stitch-aware track assignment of one (panel, layer).
+
+    Args:
+        panel: the segments to place.
+        xs: contiguous track coordinates of the panel span (stitch-line
+            tracks included; they are carved out into regions here).
+        stitches: stitching-line set of the design.
+    """
+    regions = regions_of_span(min(xs), max(xs), stitches) if xs else []
+    if not regions:
+        return TrackAssignmentResult(
+            panel=panel,
+            tracks={},
+            failed=[seg.index for seg in panel.segments],
+            bad_ends=[],
+        )
+    assignment_by_region = _distribute_segments(panel.segments, regions)
+
+    tracks: Dict[int, Dict[int, int]] = {}
+    failed: List[int] = []
+    for region, segments in zip(regions, assignment_by_region):
+        placed, region_failed = _assign_region(segments, region)
+        tracks.update(placed)
+        failed.extend(region_failed)
+    bad = find_bad_ends(panel.segments, tracks, stitches)
+    return TrackAssignmentResult(
+        panel=panel, tracks=tracks, failed=failed, bad_ends=bad
+    )
+
+
+# ----------------------------------------------------------------------
+# Region distribution
+# ----------------------------------------------------------------------
+def _distribute_segments(
+    segments: Sequence[PanelSegment], regions: List[TrackRegion]
+) -> List[List[PanelSegment]]:
+    """Split the panel's segments across its track regions.
+
+    Greedy balance: longest segments first, each to the region with the
+    most remaining headroom (track count minus current max density on
+    the segment's rows).  With the default configuration every panel
+    has exactly one region and this is a pass-through.
+    """
+    if len(regions) == 1:
+        return [list(segments)]
+    buckets: List[List[PanelSegment]] = [[] for _ in regions]
+    densities: List[Dict[int, int]] = [dict() for _ in regions]
+    for seg in sorted(segments, key=lambda s: (-s.length, s.index)):
+        best = None
+        best_headroom = None
+        for idx, region in enumerate(regions):
+            peak = max(
+                (
+                    densities[idx].get(row, 0)
+                    for row in range(seg.span.lo, seg.span.hi + 1)
+                ),
+                default=0,
+            )
+            headroom = region.num_tracks - peak
+            if best_headroom is None or headroom > best_headroom:
+                best, best_headroom = idx, headroom
+        assert best is not None
+        buckets[best].append(seg)
+        for row in range(seg.span.lo, seg.span.hi + 1):
+            densities[best][row] = densities[best].get(row, 0) + 1
+    return buckets
+
+
+# ----------------------------------------------------------------------
+# Single-region core
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class _IntervalKey:
+    segment: int
+    row: int
+
+
+def _assign_region(
+    segments: Sequence[PanelSegment], region: TrackRegion
+) -> Tuple[Dict[int, Dict[int, int]], List[int]]:
+    """Assign one region; returns (tracks, failed segment indices)."""
+    if not segments:
+        return {}, []
+    capacity = region.num_tracks
+    live, failed = _enforce_density(segments, capacity)
+    if not live:
+        return {}, failed
+    order = _segment_order(live)
+    windows = _feasible_windows(live, order, region)
+    tracks = _sequential_assignment(live, order, windows, region)
+    return tracks, failed
+
+
+def _enforce_density(
+    segments: Sequence[PanelSegment], capacity: int
+) -> Tuple[List[PanelSegment], List[int]]:
+    """Drop shortest segments from over-dense rows (to be re-routed)."""
+    live = sorted(segments, key=lambda s: (-s.length, s.index))
+    failed: List[int] = []
+    density: Dict[int, int] = {}
+    kept: List[PanelSegment] = []
+    for seg in live:
+        rows = range(seg.span.lo, seg.span.hi + 1)
+        if any(density.get(row, 0) + 1 > capacity for row in rows):
+            failed.append(seg.index)
+            continue
+        for row in rows:
+            density[row] = density.get(row, 0) + 1
+        kept.append(seg)
+    kept.sort(key=lambda s: s.index)
+    return kept, failed
+
+
+def _segment_order(segments: Sequence[PanelSegment]) -> List[int]:
+    """Left-to-right relative order of segment indices (Fig. 11b).
+
+    The longest segments take the extreme (stitch-line-adjacent)
+    positions, alternating left and right; the next positions prefer
+    segments that do not overlap the tentative bad ends of those long
+    segments; remaining segments fill the middle.
+    """
+    by_length = sorted(segments, key=lambda s: (-s.length, s.index))
+    n = len(by_length)
+    num_edge = min(2, n) if n < 4 else min(4, max(2, n // 3))
+    edge_segments = by_length[:num_edge]
+    rest = by_length[num_edge:]
+
+    left: List[int] = []
+    right: List[int] = []
+    for i, seg in enumerate(edge_segments):
+        (left if i % 2 == 0 else right).append(seg.index)
+    right.reverse()
+
+    # Rows where the edge segments have tentative bad ends.
+    hot_rows: Set[int] = set()
+    for seg in edge_segments:
+        hot_rows.update(seg.line_end_rows)
+
+    def overlap_hot(seg: PanelSegment) -> bool:
+        return any(seg.span.contains(row) for row in hot_rows)
+
+    helpers = [s for s in rest if not overlap_hot(s)]
+    others = [s for s in rest if overlap_hot(s)]
+    middle = [s.index for s in helpers + others]
+    return left + middle + right
+
+
+def _feasible_windows(
+    segments: Sequence[PanelSegment],
+    order: List[int],
+    region: TrackRegion,
+) -> Dict[_IntervalKey, Tuple[int, int]]:
+    """[m, M] window (1-based tracks) per interval via longest paths.
+
+    Dummy constraints that make the window empty are relaxed one round
+    at a time: those intervals will carry bad ends.
+    """
+    by_index = {seg.index: seg for seg in segments}
+    position = {seg_index: pos for pos, seg_index in enumerate(order)}
+    capacity = region.num_tracks
+
+    intervals: List[_IntervalKey] = []
+    row_chains: Dict[int, List[_IntervalKey]] = {}
+    for seg in segments:
+        for row in range(seg.span.lo, seg.span.hi + 1):
+            key = _IntervalKey(seg.index, row)
+            intervals.append(key)
+            row_chains.setdefault(row, []).append(key)
+    for chain in row_chains.values():
+        chain.sort(key=lambda k: position[k.segment])
+
+    line_end_intervals = {
+        _IntervalKey(seg.index, row)
+        for seg in segments
+        for row in seg.line_end_rows
+    }
+    relax_left: Set[_IntervalKey] = set()
+    relax_right: Set[_IntervalKey] = set()
+
+    for _ in range(len(intervals) + 1):
+        m = _longest_from_side(
+            intervals,
+            row_chains,
+            line_end_intervals - relax_left,
+            region.sur_left,
+            reverse=False,
+        )
+        dist_right = _longest_from_side(
+            intervals,
+            row_chains,
+            line_end_intervals - relax_right,
+            region.sur_right,
+            reverse=True,
+        )
+        windows = {
+            key: (int(m[key]), capacity + 1 - int(dist_right[key]))
+            for key in intervals
+        }
+        infeasible = [k for k, (lo, hi) in windows.items() if lo > hi]
+        if not infeasible:
+            return windows
+        # Relax the dummy constraint of infeasible line-end intervals;
+        # if none is relaxable the density guard should have fired, but
+        # clamp as a last resort.
+        progressed = False
+        for key in infeasible:
+            if key in line_end_intervals:
+                if key not in relax_left:
+                    relax_left.add(key)
+                    progressed = True
+                elif key not in relax_right:
+                    relax_right.add(key)
+                    progressed = True
+        if not progressed:
+            return {
+                key: (lo, max(lo, hi)) for key, (lo, hi) in windows.items()
+            }
+    return windows
+
+
+def _longest_from_side(
+    intervals: List[_IntervalKey],
+    row_chains: Dict[int, List[_IntervalKey]],
+    constrained: Set[_IntervalKey],
+    sur_width: int,
+    reverse: bool,
+) -> Dict[_IntervalKey, float]:
+    """Longest path lengths of the min (or mirrored max) track graph."""
+    source = "source"
+    vertices: List[object] = [source] + list(intervals)
+    edges: List[Tuple[object, object, float]] = []
+    for chain in row_chains.values():
+        seq = list(reversed(chain)) if reverse else chain
+        edges.append((source, seq[0], 1.0))
+        for a, b in zip(seq, seq[1:]):
+            edges.append((a, b, 1.0))
+    if sur_width > 0:
+        dummy = "dummy"
+        vertices.append(dummy)
+        edges.append((source, dummy, float(sur_width)))
+        for key in constrained:
+            edges.append((dummy, key, 1.0))
+    dist = longest_path_lengths(vertices, edges, sources=[source])
+    return {key: dist.get(key, 1.0) for key in intervals}
+
+
+def _sequential_assignment(
+    segments: Sequence[PanelSegment],
+    order: List[int],
+    windows: Dict[_IntervalKey, Tuple[int, int]],
+    region: TrackRegion,
+) -> Dict[int, Dict[int, int]]:
+    """Left-to-right greedy track selection inside the windows (Fig 11e)."""
+    by_index = {seg.index: seg for seg in segments}
+    floor: Dict[int, int] = {}
+    tracks: Dict[int, Dict[int, int]] = {}
+    for seg_index in order:
+        seg = by_index[seg_index]
+        rows = list(range(seg.span.lo, seg.span.hi + 1))
+        lo_bounds = []
+        hi_bounds = []
+        for row in rows:
+            key = _IntervalKey(seg_index, row)
+            m, M = windows[key]
+            lo_bounds.append(max(m, floor.get(row, 0) + 1))
+            hi_bounds.append(M)
+        # Straight track if the per-row windows intersect.
+        straight_lo = max(lo_bounds)
+        straight_hi = min(hi_bounds)
+        per_row: Dict[int, int] = {}
+        if straight_lo <= straight_hi:
+            track = straight_lo
+            for row in rows:
+                per_row[row] = track
+        else:
+            previous: Optional[int] = None
+            for row, lo, hi in zip(rows, lo_bounds, hi_bounds):
+                hi = max(hi, lo)  # clamped fallback for relaxed windows
+                if previous is None:
+                    track = lo
+                else:
+                    track = min(max(previous, lo), hi)
+                per_row[row] = track
+                previous = track
+        for row, track in per_row.items():
+            floor[row] = max(floor.get(row, 0), track)
+        tracks[seg_index] = {
+            row: region.xs[track - 1] for row, track in per_row.items()
+        }
+    return tracks

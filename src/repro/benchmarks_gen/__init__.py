@@ -1,0 +1,27 @@
+"""Synthetic reproductions of the paper's benchmark suites."""
+
+from .faraday import FARADAY_NAMES, FARADAY_SPECS, faraday_design, faraday_suite
+from .generator import SyntheticSpec, generate_design
+from .mcnc import (
+    MCNC_HARD_NAMES,
+    MCNC_NAMES,
+    MCNC_SPECS,
+    mcnc_design,
+    mcnc_stress_design,
+    mcnc_suite,
+)
+
+__all__ = [
+    "FARADAY_NAMES",
+    "FARADAY_SPECS",
+    "MCNC_HARD_NAMES",
+    "MCNC_NAMES",
+    "MCNC_SPECS",
+    "SyntheticSpec",
+    "faraday_design",
+    "faraday_suite",
+    "generate_design",
+    "mcnc_design",
+    "mcnc_stress_design",
+    "mcnc_suite",
+]

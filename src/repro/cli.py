@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``route`` — route one benchmark circuit with the stitch-aware
+  framework (or the baseline), print the violation report, optionally
+  write the SVG plot, the JSON report, and the design snapshot.
+* ``compare`` — run both routers on one circuit and print the
+  Table III style comparison row.
+* ``circuits`` — list the available benchmark circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .benchmarks_gen import (
+    FARADAY_NAMES,
+    MCNC_NAMES,
+    faraday_design,
+    mcnc_design,
+)
+from .core import BaselineRouter, StitchAwareRouter
+from .io import save_design, save_report
+from .reporting import format_table
+from .viz import render_routing_svg
+
+
+def _get_design(name: str, scale: float):
+    if name in MCNC_NAMES:
+        return mcnc_design(name, scale)
+    if name in FARADAY_NAMES:
+        return faraday_design(name, scale)
+    raise SystemExit(
+        f"unknown circuit {name!r}; run `python -m repro circuits`"
+    )
+
+
+def _cmd_circuits(_args: argparse.Namespace) -> int:
+    print("MCNC   :", ", ".join(MCNC_NAMES))
+    print("Faraday:", ", ".join(FARADAY_NAMES))
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    design = _get_design(args.circuit, args.scale)
+    router = BaselineRouter() if args.baseline else StitchAwareRouter()
+    flow = router.route(design)
+    report = flow.report
+    print(
+        format_table(
+            [report.row()],
+            title=f"{design.name} @ scale {args.scale} "
+            f"({'baseline' if args.baseline else 'stitch-aware'})",
+        )
+    )
+    if args.svg:
+        with open(args.svg, "w") as f:
+            f.write(render_routing_svg(flow.detailed_result))
+        print(f"wrote {args.svg}")
+    if args.report:
+        save_report(report, args.report)
+        print(f"wrote {args.report}")
+    if args.save_design:
+        save_design(design, args.save_design)
+        print(f"wrote {args.save_design}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    design = _get_design(args.circuit, args.scale)
+    rows = []
+    for label, router in (
+        ("baseline", BaselineRouter()),
+        ("stitch-aware", StitchAwareRouter()),
+    ):
+        report = router.route(design).report
+        row = report.row()
+        row["circuit"] = f"{design.name} ({label})"
+        rows.append(row)
+    print(format_table(rows, title=f"{design.name} @ scale {args.scale}"))
+    base_sp, aware_sp = rows[0]["sp"], rows[1]["sp"]
+    if base_sp:
+        print(f"\nshort polygons reduced to "
+              f"{100 * aware_sp / base_sp:.1f}% of baseline")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stitch-aware routing for MEBL (DAC'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    circuits = sub.add_parser("circuits", help="list benchmark circuits")
+    circuits.set_defaults(func=_cmd_circuits)
+
+    route = sub.add_parser("route", help="route one circuit")
+    route.add_argument("circuit")
+    route.add_argument("--scale", type=float, default=0.05)
+    route.add_argument("--baseline", action="store_true")
+    route.add_argument("--svg", help="write the routing plot")
+    route.add_argument("--report", help="write the JSON violation report")
+    route.add_argument("--save-design", help="write the design snapshot")
+    route.set_defaults(func=_cmd_route)
+
+    compare = sub.add_parser("compare", help="baseline vs stitch-aware")
+    compare.add_argument("circuit")
+    compare.add_argument("--scale", type=float, default=0.05)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also used by ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Global configuration for the stitch-aware routing framework.
+
+The defaults follow the experimental setup of the paper (Section IV):
+
+* the distance between two stitching lines is 15 routing pitches and the
+  stitching lines are uniformly distributed over the layout;
+* the tracks adjacent to a stitching line fall into the stitch unfriendly
+  region (``epsilon = 1`` track on each side);
+* the *escape region* used by the stitch-aware detailed router is the four
+  tracks nearest to a stitching line (Section III-D1);
+* the detailed-routing cost weights of Eq. (10) are ``alpha = 1``,
+  ``beta = 10`` and ``gamma = 5``.
+
+All distances are expressed in routing pitches (one grid unit equals one
+routing pitch).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterConfig:
+    """Parameters shared by every stage of the routing framework.
+
+    Attributes:
+        stitch_spacing: distance between two stitching lines, in pitches.
+        epsilon: half-width of the stitch unfriendly region, in tracks.
+        escape_width: width of the escape region on each side of a
+            stitching line, in tracks (Section III-D1 uses four).
+        tile_size: edge length of a level-0 global routing tile, in
+            pitches.  Aligned to ``stitch_spacing`` by default so each
+            tile boundary layout is identical.
+        alpha: wirelength weight in the detailed routing cost, Eq. (10).
+        beta: via-in-stitch-unfriendly-region weight in Eq. (10).
+        gamma: escape-region weight in Eq. (10).  The paper requires
+            ``beta`` to be much larger than ``gamma``.
+        max_ripup_iterations: rip-up and re-route rounds for failed nets.
+        detail_expansion_limit: A* node-expansion budget per net and
+            attempt; keeps worst-case detailed routing bounded.
+    """
+
+    stitch_spacing: int = 15
+    epsilon: int = 1
+    escape_width: int = 4
+    tile_size: int = 15
+    alpha: float = 1.0
+    beta: float = 10.0
+    gamma: float = 5.0
+    max_ripup_iterations: int = 5
+    detail_expansion_limit: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.stitch_spacing < 3:
+            raise ValueError("stitch_spacing must be at least 3 pitches")
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if self.epsilon * 2 + 1 >= self.stitch_spacing:
+            raise ValueError(
+                "stitch unfriendly regions of adjacent stitching lines overlap: "
+                f"epsilon={self.epsilon}, stitch_spacing={self.stitch_spacing}"
+            )
+        if self.tile_size < 2:
+            raise ValueError("tile_size must be at least 2 pitches")
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise ValueError("cost weights must be non-negative")
+
+
+DEFAULT_CONFIG = RouterConfig()
+
+
+def benchmark_scale(default: float = 0.1) -> float:
+    """Return the benchmark size scale factor.
+
+    The paper's largest circuits have tens of thousands of nets, which a
+    C++ router handles in seconds but is slow in pure Python.  Benchmarks
+    therefore run on size-scaled instances by default (area shrinks with
+    the net count, so congestion ratios are preserved).  Set the
+    environment variable ``REPRO_FULL=1`` for full-size instances, or
+    ``REPRO_SCALE=<float>`` for an explicit factor.
+    """
+    if os.environ.get("REPRO_FULL") == "1":
+        return 1.0
+    value = os.environ.get("REPRO_SCALE")
+    if value is not None:
+        scale = float(value)
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"REPRO_SCALE must be in (0, 1], got {scale}")
+        return scale
+    return default

@@ -1,0 +1,5 @@
+"""Full routing flows: the stitch-aware framework and its baseline."""
+
+from .flow import BaselineRouter, FlowResult, StitchAwareRouter
+
+__all__ = ["BaselineRouter", "FlowResult", "StitchAwareRouter"]

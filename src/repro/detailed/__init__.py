@@ -1,0 +1,19 @@
+"""Stitch-aware detailed routing (Section III-D)."""
+
+from .grid import DetailedGrid, Node, nodes_of_points
+from .router import DetailedResult, DetailedRouter, RoutedNet
+from .search import astar_connect, connection_window
+from .trunks import TrunkPiece, materialize_trunks
+
+__all__ = [
+    "DetailedGrid",
+    "DetailedResult",
+    "DetailedRouter",
+    "Node",
+    "RoutedNet",
+    "TrunkPiece",
+    "astar_connect",
+    "connection_window",
+    "materialize_trunks",
+    "nodes_of_points",
+]

@@ -1,0 +1,744 @@
+"""Stitch-aware detailed routing (Section III-D).
+
+Connects each net's pins and trunk pieces into one electrically
+connected tree with A* searches under the Eq. (10) cost, using:
+
+* **stitch-aware net ordering** — nets with more bad ends from track
+  assignment are routed first so their escapes still find resources
+  (Fig. 14);
+* **rip-up and re-route** — nets that fail in the first pass are fully
+  ripped and re-routed with wider search windows, mirroring the second
+  bottom-up pass of the framework.
+
+The baseline mode (``stitch_aware=False``) keeps the hard MEBL
+constraints (wires cross stitching lines in the x direction only, no
+vias on lines except fixed pins — Section IV-A gives the baseline the
+same legality) but drops the beta/gamma costs and uses conventional
+net ordering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..assign import DesignTrackAssignment
+from ..globalroute import GlobalGraph
+from ..layout import Design, Net
+from .grid import DetailedGrid, Node
+from .search import astar_connect, connection_window
+from .trunks import TrunkPiece, materialize_trunks
+from .wiring import (
+    Edge,
+    nodes_of_edges,
+    path_edges,
+    short_polygon_sites,
+    trim_dangling,
+)
+
+#: Successive window margins for connection attempts.
+WINDOW_MARGINS = (6, 16, 48)
+
+#: Margins for direct (trunk-less) re-routes: failed nets usually span
+#: several tiles, so the smallest window is rarely sufficient and only
+#: wastes a full failed search.
+DIRECT_WINDOW_MARGINS = (16, 48)
+
+
+@dataclasses.dataclass
+class RoutedNet:
+    """Final routing state of one net."""
+
+    net: Net
+    nodes: Set[Node]
+    edges: Set[Edge]
+    routed: bool
+
+    @property
+    def pin_nodes(self) -> Set[Node]:
+        """Grid nodes of the net's pins."""
+        return {
+            (p.location.x, p.location.y, p.layer) for p in self.net.pins
+        }
+
+
+@dataclasses.dataclass
+class DetailedResult:
+    """Outcome of detailed routing a design."""
+
+    design: Design
+    nets: Dict[str, RoutedNet]
+    failed: List[str]
+    cpu_seconds: float
+
+    @property
+    def routability(self) -> float:
+        """Fraction of nets fully routed (Table III definition)."""
+        total = len(self.nets)
+        if total == 0:
+            return 1.0
+        routed = sum(1 for rn in self.nets.values() if rn.routed)
+        return routed / total
+
+
+class DetailedRouter:
+    """Two-pass detailed router over materialized trunks."""
+
+    def __init__(self, stitch_aware: bool = True) -> None:
+        self.stitch_aware = stitch_aware
+
+    def route(
+        self,
+        design: Design,
+        graph: GlobalGraph,
+        assignment: DesignTrackAssignment,
+        order_hint: Optional[Sequence[Net]] = None,
+    ) -> DetailedResult:
+        """Detail-route every net of ``design``.
+
+        Args:
+            design: the routing instance.
+            graph: the global routing graph (for tile geometry).
+            assignment: the track assignment whose trunks to realize.
+            order_hint: bottom-up net order from the multilevel scheme;
+                defaults to HPWL order.
+        """
+        start = time.perf_counter()
+        grid = DetailedGrid(design, stitch_aware=self.stitch_aware)
+        nets = list(order_hint) if order_hint is not None else sorted(
+            design.netlist, key=lambda n: (n.hpwl, n.name)
+        )
+
+        # Fixed pins first: they own their nodes unconditionally.
+        for net in nets:
+            for pin in net.pins:
+                node = (pin.location.x, pin.location.y, pin.layer)
+                if grid.owner(node) is None:
+                    grid.occupy(node, net.name)
+                    grid.mark_pin(node)
+
+        trunk_pieces = materialize_trunks(design, grid, graph, assignment)
+        order = self._net_order(nets, assignment)
+
+        routed: Dict[str, RoutedNet] = {}
+        failed: List[str] = []
+        for net in order:
+            ok, nodes, edges, victims = self._connect_net(
+                design, grid, net, trunk_pieces
+            )
+            routed[net.name] = RoutedNet(
+                net=net, nodes=nodes, edges=edges, routed=ok
+            )
+            if not ok:
+                failed.append(net.name)
+            for victim in sorted(victims):
+                if victim in routed and routed[victim].routed:
+                    routed[victim] = _strip_stolen(grid, routed[victim])
+                    failed.append(victim)
+                # Not-yet-routed victims lost trunk nodes only; their
+                # own connection phase routes around the gaps.
+
+        failed = self._ripup_loop(design, grid, routed, failed, trunk_pieces)
+
+        if self.stitch_aware:
+            self._repair_short_polygons(design, grid, routed, trunk_pieces)
+
+        return DetailedResult(
+            design=design,
+            nets=routed,
+            failed=failed,
+            cpu_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _ripup_loop(
+        self,
+        design: Design,
+        grid: DetailedGrid,
+        routed: Dict[str, "RoutedNet"],
+        failed: List[str],
+        trunk_pieces: Dict[str, List[TrunkPiece]],
+    ) -> List[str]:
+        """Negotiated rip-up and re-route of failed nets.
+
+        Each round first tries to reconnect over the net's surviving
+        trunk fragments (plan-preserving), then over a clean direct
+        route; if both fail, the net may buy a path through other
+        nets' wire at a penalty, and the victims it crosses are ripped
+        and queued for re-route in the same fashion.
+        """
+        for _ in range(design.config.max_ripup_iterations):
+            if not failed:
+                break
+            queue = list(dict.fromkeys(failed))
+            next_failed: List[str] = []
+            for name in queue:
+                record = routed[name]
+                pieces = trunk_pieces.get(name, [])
+                live_trunk = {
+                    node
+                    for piece in pieces
+                    for node in piece.nodes
+                    if grid.owner(node) == name
+                }
+                ok = False
+                nodes: Set[Node] = set()
+                edges: Set[Edge] = set()
+                salvage = _salvage_components(grid, record)
+                if salvage is not None:
+                    ok, nodes, edges, _ = self._connect_net(
+                        design,
+                        grid,
+                        record.net,
+                        {},
+                        direct=True,
+                        salvage=salvage,
+                        allow_negotiation=False,
+                    )
+                    if not ok:
+                        record = RoutedNet(
+                            net=record.net,
+                            nodes=nodes | record.nodes,
+                            edges=edges | record.edges,
+                            routed=False,
+                        )
+                if not ok and live_trunk:
+                    # Release connections only; keep the plan's wire.
+                    keep = live_trunk | record.pin_nodes
+                    for node in record.nodes - keep:
+                        grid.release(node, name)
+                    for pin_node in record.pin_nodes:
+                        grid.occupy(pin_node, name)
+                    fragments = _piece_fragments(pieces, live_trunk)
+                    ok, nodes, edges, _ = self._connect_net(
+                        design,
+                        grid,
+                        record.net,
+                        {name: fragments},
+                        allow_negotiation=False,
+                    )
+                    if not ok:
+                        record = RoutedNet(
+                            net=record.net,
+                            nodes=nodes | live_trunk | record.pin_nodes,
+                            edges=edges,
+                            routed=False,
+                        )
+                if not ok:
+                    self._rip(grid, record)
+                    for node in live_trunk:
+                        grid.release(node, name)
+                    ok, nodes, edges, _ = self._connect_net(
+                        design, grid, record.net, {}, direct=True
+                    )
+                if not ok:
+                    ok, nodes, edges, victims = self._connect_net(
+                        design,
+                        grid,
+                        record.net,
+                        {},
+                        direct=True,
+                        foreign_penalty=30.0,
+                    )
+                    for victim in sorted(victims):
+                        if victim in routed:
+                            routed[victim] = _strip_stolen(
+                                grid, routed[victim]
+                            )
+                            next_failed.append(victim)
+                routed[name] = RoutedNet(
+                    net=record.net, nodes=nodes, edges=edges, routed=ok
+                )
+                if not ok:
+                    next_failed.append(name)
+            if set(next_failed) == set(failed):
+                break
+            failed = list(dict.fromkeys(next_failed))
+        return failed
+
+    @staticmethod
+    def _rip(grid: DetailedGrid, record: "RoutedNet") -> None:
+        """Release a net's wire, keeping its pin nodes claimed.
+
+        Pins are never released (not even transiently): a free pin
+        node could be claimed by a concurrent negotiated search.
+        """
+        name = record.net.name
+        pin_nodes = record.pin_nodes
+        for node in record.nodes - pin_nodes:
+            grid.release(node, name)
+        for pin_node in pin_nodes:
+            if grid.owner(pin_node) is None:
+                grid.occupy(pin_node, name)
+
+    # ------------------------------------------------------------------
+    def _repair_short_polygons(
+        self,
+        design: Design,
+        grid: DetailedGrid,
+        routed: Dict[str, "RoutedNet"],
+        trunk_pieces: Dict[str, List[TrunkPiece]],
+    ) -> None:
+        """Re-route connections whose wires still form short polygons.
+
+        The repair is surgical and respects the track assignment: the
+        net's trunk wire stays in place; only the A*-made connections
+        are ripped and re-found with the offending line crossings
+        blocked, forcing the wire to reach its end from the
+        non-crossing side (or cross on a different track).
+
+        Short polygons whose bad end sits *on a trunk* (a bad end the
+        track assignment left behind) are not repairable here — moving
+        them would undo the assignment — so they remain, exactly as in
+        the paper, where only better track assignment removes them.
+        A net that cannot be improved keeps its original route.
+        """
+        stitches = design.stitches
+        assert stitches is not None
+        blocked_per_net: Dict[str, Set[Node]] = {}
+        for _ in range(2):
+            victims = []
+            for name, record in routed.items():
+                if not record.routed:
+                    continue
+                trunk_nodes = {
+                    node
+                    for piece in trunk_pieces.get(name, [])
+                    for node in piece.nodes
+                    if node in record.nodes
+                }
+                sites = [
+                    site
+                    for site in short_polygon_sites(
+                        record.edges, record.pin_nodes, stitches
+                    )
+                    if site[1] not in trunk_nodes  # end anchored off-trunk
+                ]
+                if sites:
+                    victims.append((name, sites, trunk_nodes))
+            if not victims:
+                return
+            progressed = False
+            for name, sites, trunk_nodes in victims:
+                record = routed[name]
+                blocked = blocked_per_net.setdefault(name, set())
+                blocked.update(crossing for crossing, _end in sites)
+                saved_nodes, saved_edges = record.nodes, record.edges
+                before = len(
+                    short_polygon_sites(
+                        record.edges, record.pin_nodes, stitches
+                    )
+                )
+                # Rip connections only; trunks and pins stay claimed.
+                keep = trunk_nodes | record.pin_nodes
+                for node in saved_nodes - keep:
+                    grid.release(node, name)
+                fragments = _piece_fragments(
+                    trunk_pieces.get(name, []), trunk_nodes
+                )
+                ok, nodes, edges, _ = self._connect_net(
+                    design,
+                    grid,
+                    record.net,
+                    {name: fragments},
+                    blocked=blocked,
+                    allow_negotiation=False,
+                )
+                repaired = ok and len(
+                    short_polygon_sites(edges, record.pin_nodes, stitches)
+                ) < before
+                if not repaired:
+                    # Restore the original route.
+                    for node in nodes:
+                        grid.release(node, name)
+                    for node in saved_nodes:
+                        grid.occupy(node, name)
+                    routed[name] = RoutedNet(
+                        net=record.net,
+                        nodes=saved_nodes,
+                        edges=saved_edges,
+                        routed=record.routed,
+                    )
+                else:
+                    progressed = True
+                    routed[name] = RoutedNet(
+                        net=record.net, nodes=nodes, edges=edges, routed=True
+                    )
+            if not progressed:
+                return
+
+    # ------------------------------------------------------------------
+    def _net_order(
+        self, nets: Sequence[Net], assignment: DesignTrackAssignment
+    ) -> List[Net]:
+        """Stitch-aware: more bad ends first (Section III-D2)."""
+        if not self.stitch_aware:
+            return list(nets)
+        bad_ends = assignment.bad_ends_per_net()
+        base_rank = {net.name: pos for pos, net in enumerate(nets)}
+        return sorted(
+            nets,
+            key=lambda n: (-bad_ends.get(n.name, 0), base_rank[n.name]),
+        )
+
+    def _connect_net(
+        self,
+        design: Design,
+        grid: DetailedGrid,
+        net: Net,
+        trunk_pieces: Dict[str, List[TrunkPiece]],
+        direct: bool = False,
+        blocked: Optional[Set[Node]] = None,
+        foreign_penalty: Optional[float] = None,
+        allow_negotiation: bool = True,
+        salvage: Optional[Tuple[List[Set[Node]], Set[Edge]]] = None,
+    ) -> Tuple[bool, Set[Node], Set[Edge], Set[str]]:
+        """Merge the net's pins and trunks into one component.
+
+        Returns ``(ok, nodes, edges, victims)``; ``victims`` is the set
+        of nets whose wire the path force-claimed (only non-empty when
+        ``foreign_penalty`` is given).
+        """
+        pin_components: List[Set[Node]] = []
+        edges: Set[Edge] = set()
+        victims: Set[str] = set()
+        seen_pins = set()
+        for pin in net.pins:
+            node = (pin.location.x, pin.location.y, pin.layer)
+            if grid.owner(node) != net.name:
+                # Pin location captured by another net (malformed
+                # input); the net cannot be legally completed.
+                return False, set(), set(), victims
+            if node not in seen_pins:
+                seen_pins.add(node)
+                pin_components.append({node})
+        trunk_components: List[Set[Node]] = []
+        if salvage is not None:
+            # Minimal repair: reconnect the net's surviving wire
+            # instead of rebuilding from scratch.
+            salvage_components, salvage_edges = salvage
+            trunk_components.extend(
+                set(comp) for comp in salvage_components if comp
+            )
+            edges |= salvage_edges
+        if not direct:
+            raw_pieces = trunk_pieces.get(net.name, [])
+            # Negotiated rip-up may have stolen parts of the trunks
+            # (e.g. before this net's first routing turn); only wire
+            # the net still owns belongs in its components.
+            owned = {
+                node
+                for piece in raw_pieces
+                for node in piece.nodes
+                if grid.owner(node) == net.name
+            }
+            pieces = _piece_fragments(raw_pieces, owned)
+            for piece in pieces:
+                trunk_components.append(piece.node_set)
+                edges |= path_edges(piece.nodes)
+            # Segment-to-segment connections happen at the assigned
+            # crossing points (the paper's model: a via joins two
+            # segments where they intersect; the line-end position is
+            # fixed by track assignment, not negotiable by the router).
+            via_edges, via_components = _preconnect_crossings(
+                grid, net.name, pieces
+            )
+            edges |= via_edges
+            trunk_components.extend(via_components)
+        trunk_components = _merge_overlapping(trunk_components)
+
+        all_nodes: Set[Node] = set()
+        for comp in pin_components + trunk_components:
+            all_nodes |= comp
+
+        def connect_round(
+            components: List[Set[Node]],
+            target_filter: Optional[Set[Node]] = None,
+            margins: Optional[Tuple[int, ...]] = None,
+            penalty: Optional[float] = None,
+        ) -> Tuple[bool, List[Set[Node]]]:
+            """Merge components until one remains; updates closure state.
+
+            ``target_filter`` restricts where the search may terminate
+            (pin-to-*segment* routing: a pin must reach the assigned
+            wire, not shortcut onto another pin's connection arm);
+            ``margins`` overrides the window escalation schedule;
+            ``penalty`` overrides the foreign-wire pass-through cost
+            (negotiated attachment for boxed pins).
+            """
+            nonlocal all_nodes, edges, victims
+            if margins is None:
+                margins = DIRECT_WINDOW_MARGINS if direct else WINDOW_MARGINS
+            if penalty is None:
+                penalty = foreign_penalty
+            # Negotiated searches see almost every node as passable, so
+            # an unreachable target otherwise floods the whole window.
+            limit = design.config.detail_expansion_limit
+            if penalty is not None:
+                limit //= 8
+            while len(components) > 1:
+                components.sort(key=len)
+                source = components[0]
+                targets: Set[Node] = set().union(*components[1:])
+                if target_filter is not None:
+                    targets &= target_filter
+                    if not targets:
+                        return False, components
+                path = None
+                for margin in margins:
+                    window = connection_window(
+                        source, targets, margin, design.width, design.height
+                    )
+                    path = astar_connect(
+                        grid,
+                        net.name,
+                        source,
+                        targets,
+                        window,
+                        limit,
+                        blocked=blocked,
+                        foreign_penalty=penalty,
+                    )
+                    if path is not None:
+                        break
+                if path is None:
+                    return False, components
+                for node in path:
+                    evicted = grid.force_occupy(node, net.name)
+                    if evicted is not None:
+                        victims.add(evicted)
+                    all_nodes.add(node)
+                edges |= path_edges(path)
+                end = path[-1]
+                merged = source | set(path)
+                rest: List[Set[Node]] = []
+                for comp in components[1:]:
+                    if end in comp or comp & merged:
+                        merged |= comp
+                    else:
+                        rest.append(comp)
+                components = rest + [merged]
+            return True, components
+
+        if trunk_components:
+            # Pass 2 semantics (Section III-D): first unify the
+            # assigned segments (segment-to-segment), then attach each
+            # pin to the assigned route (pin-to-segment) — pins must
+            # reach their segments, not shortcut to each other.
+            ok, trunk_components = connect_round(trunk_components)
+            if not ok:
+                # Disjoint trunks (blocked crossings): fall back to a
+                # free-for-all merge of everything.
+                ok, remaining = connect_round(
+                    pin_components + trunk_components
+                )
+                if not ok:
+                    return False, all_nodes, edges, victims
+                components = remaining
+            else:
+                spine = trunk_components[0]
+                trunk_targets = set(spine)
+                tile = design.config.tile_size
+                for pin_comp in pin_components:
+                    if pin_comp & spine:
+                        spine |= pin_comp
+                        continue
+                    # Pin-to-segment: prefer the assigned wire passing
+                    # through the pin's own tile (that is why global
+                    # routing went there), then any assigned wire, and
+                    # only then the net's other connection arms.
+                    pin_node = next(iter(pin_comp))
+                    pin_tile = (pin_node[0] // tile, pin_node[1] // tile)
+                    local_targets = {
+                        n
+                        for n in trunk_targets
+                        if (n[0] // tile, n[1] // tile) == pin_tile
+                    }
+                    # The local attempt only ever needs to look a tile
+                    # around the pin; a single small window keeps the
+                    # escalation cascade cheap.
+                    attempts: List[
+                        Tuple[Optional[Set[Node]], Optional[Tuple[int, ...]], Optional[float]]
+                    ] = []
+                    if local_targets:
+                        attempts.append((local_targets, (tile,), None))
+                    attempts.append((trunk_targets, None, None))
+                    attempts.append((None, None, None))
+                    if allow_negotiation and foreign_penalty is None:
+                        # Boxed pin: negotiate through foreign wire
+                        # (the victims are ripped by the caller) rather
+                        # than abandoning the whole net's plan.
+                        attempts.append((trunk_targets, (16,), 30.0))
+                    ok = False
+                    for target_filter, margin_override, penalty in attempts:
+                        ok, merged = connect_round(
+                            [pin_comp, spine],
+                            target_filter=target_filter,
+                            margins=margin_override,
+                            penalty=penalty,
+                        )
+                        if ok:
+                            break
+                    if not ok:
+                        return False, all_nodes, edges, victims
+                    spine = merged[0]
+                components = [spine]
+        else:
+            ok, components = connect_round(pin_components)
+            if not ok:
+                return False, all_nodes, edges, victims
+        for comp in components:
+            all_nodes |= comp
+        # Trim: release never-used trunk metal back to the grid so it
+        # does not block later nets (the cleanup a real router does).
+        pin_nodes = set(seen_pins)
+        trimmed_edges = trim_dangling(edges, pin_nodes)
+        trimmed_nodes = nodes_of_edges(trimmed_edges) | pin_nodes
+        for node in all_nodes - trimmed_nodes:
+            grid.release(node, net.name)
+        return True, trimmed_nodes, trimmed_edges, victims
+
+
+def _strip_stolen(grid: DetailedGrid, record: "RoutedNet") -> "RoutedNet":
+    """A victim's record reduced to the wire it still owns.
+
+    Negotiated rip-up steals individual nodes; the victim keeps the
+    rest of its route so its repair is a minimal reconnect instead of
+    a from-scratch re-route.
+    """
+    name = record.net.name
+    nodes = {n for n in record.nodes if grid.owner(n) == name}
+    nodes |= record.pin_nodes
+    edges = {e for e in record.edges if e[0] in nodes and e[1] in nodes}
+    return RoutedNet(net=record.net, nodes=nodes, edges=edges, routed=False)
+
+
+def _salvage_components(
+    grid: DetailedGrid, record: "RoutedNet"
+) -> Optional[Tuple[List[Set[Node]], Set[Edge]]]:
+    """Connected components of a net's surviving wire, for reconnects.
+
+    Returns ``None`` when nothing beyond the pins survives (a from-
+    scratch re-route is needed anyway).
+    """
+    name = record.net.name
+    live_edges = {
+        e
+        for e in record.edges
+        if grid.owner(e[0]) == name and grid.owner(e[1]) == name
+    }
+    if not live_edges:
+        return None
+    from ..algorithms import DisjointSet
+
+    ds = DisjointSet()
+    for a, b in live_edges:
+        ds.union(a, b)
+    groups: Dict[Node, Set[Node]] = {}
+    for edge in live_edges:
+        for node in edge:
+            groups.setdefault(ds.find(node), set()).add(node)
+    return list(groups.values()), live_edges
+
+
+def _preconnect_crossings(
+    grid: DetailedGrid,
+    net: str,
+    pieces: List[TrunkPiece],
+) -> Tuple[Set[Edge], List[Set[Node]]]:
+    """Stitch same-net trunks together with vias at their crossings.
+
+    For every pair of not-yet-connected trunk pieces that intersect in
+    (x, y), a via stack is placed at the crossing (when the grid allows
+    it), merging the pieces exactly where the track assignment put
+    them.  Redundant crossings between already-connected pieces are
+    skipped so no via loops appear.  Pairs whose stack is blocked are
+    left for the A* connection search.
+    """
+    from ..algorithms import DisjointSet
+
+    edges: Set[Edge] = set()
+    components: List[Set[Node]] = []
+    if len(pieces) < 2:
+        return edges, components
+    ds = DisjointSet(range(len(pieces)))
+    xy_maps = []
+    for piece in pieces:
+        xy_map: Dict[Tuple[int, int], Set[int]] = {}
+        for x, y, layer in piece.nodes:
+            xy_map.setdefault((x, y), set()).add(layer)
+        xy_maps.append(xy_map)
+    for i in range(len(pieces)):
+        for j in range(i + 1, len(pieces)):
+            if ds.connected(i, j):
+                continue
+            shared = set(xy_maps[i]) & set(xy_maps[j])
+            for xy in sorted(shared):
+                lo = min(min(xy_maps[i][xy]), min(xy_maps[j][xy]))
+                hi = max(max(xy_maps[i][xy]), max(xy_maps[j][xy]))
+                if lo == hi:
+                    ds.union(i, j)  # pieces touch on the same layer
+                    break
+                if grid.on_stitch_line(xy[0]):
+                    continue  # via constraint: leave for A*
+                stack = [(xy[0], xy[1], layer) for layer in range(lo, hi + 1)]
+                if all(grid.is_free_for(node, net) for node in stack):
+                    for node in stack:
+                        grid.occupy(node, net)
+                    edges |= path_edges(stack)
+                    components.append(set(stack))
+                    ds.union(i, j)
+                    break
+    return edges, components
+
+
+def _piece_fragments(
+    pieces: List[TrunkPiece], live_nodes: Set[Node]
+) -> List[TrunkPiece]:
+    """Contiguous sub-runs of trunk pieces still owned by the net.
+
+    Trimming after the first connection may have released parts of a
+    trunk; the repair pass must only rebuild over what is still there.
+    """
+    fragments: List[TrunkPiece] = []
+    for piece in pieces:
+        current: List[Node] = []
+        for node in piece.nodes:
+            if node in live_nodes:
+                current.append(node)
+            elif current:
+                fragments.append(TrunkPiece(net=piece.net, nodes=current))
+                current = []
+        if current:
+            fragments.append(TrunkPiece(net=piece.net, nodes=current))
+    return fragments
+
+
+def _merge_overlapping(components: List[Set[Node]]) -> List[Set[Node]]:
+    """Union components sharing at least one node."""
+    merged: List[Set[Node]] = []
+    for comp in components:
+        absorbed = comp
+        keep: List[Set[Node]] = []
+        for existing in merged:
+            if existing & absorbed:
+                absorbed = absorbed | existing
+            else:
+                keep.append(existing)
+        keep.append(absorbed)
+        merged = keep
+    return merged
+
+
+def _nearest_exception(
+    exceptions: Set[Tuple[int, int]], source: Set[Node]
+) -> Optional[Tuple[int, int]]:
+    """Pick the via exception relevant to this source component."""
+    if not exceptions:
+        return None
+    source_xy = {(n[0], n[1]) for n in source}
+    for xy in exceptions:
+        if xy in source_xy:
+            return xy
+    return next(iter(sorted(exceptions)))

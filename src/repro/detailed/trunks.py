@@ -1,0 +1,154 @@
+"""Materialize track-assigned segments into detailed wire trunks.
+
+Pass 2 of the framework performs pin-to-segment and segment-to-segment
+detailed routing: the layer/track-assigned segments become fixed wire
+*trunks* on the detailed grid, and A* only has to make the (local)
+connections.  A vertical segment whose track assignment doglegs gets a
+short wrong-way jog on its own layer at the tile boundary (the classic
+dogleg of Fig. 11e / Fig. 16b).
+
+Nets whose track assignment failed are ripped up here — none of their
+trunks are materialized — and will be routed directly by the detailed
+router (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..assign import DesignTrackAssignment, TrackAssignmentResult
+from ..globalroute import GlobalGraph
+from ..layout import Design
+from .grid import DetailedGrid, Node
+
+
+@dataclasses.dataclass
+class TrunkPiece:
+    """One contiguous materialized wire piece of a net."""
+
+    net: str
+    nodes: List[Node]
+
+    @property
+    def node_set(self) -> Set[Node]:
+        """The nodes as a set (connectivity component seed)."""
+        return set(self.nodes)
+
+
+def materialize_trunks(
+    design: Design,
+    grid: DetailedGrid,
+    graph: GlobalGraph,
+    assignment: DesignTrackAssignment,
+) -> Dict[str, List[TrunkPiece]]:
+    """Place every surviving segment's wire onto the grid.
+
+    Returns the trunk pieces per net.  Pieces are split wherever a
+    foreign node (e.g. another net's pin) blocks the run; the detailed
+    router reconnects the parts.
+    """
+    pieces: Dict[str, List[TrunkPiece]] = {}
+    tile = design.config.tile_size
+
+    for (pos, layer), result in sorted(assignment.columns.items()):
+        _materialize_panel(
+            result,
+            vertical=True,
+            layer=layer,
+            tile=tile,
+            extent=design.height,
+            grid=grid,
+            skip_nets=assignment.failed_nets,
+            out=pieces,
+        )
+    for (pos, layer), result in sorted(assignment.rows.items()):
+        _materialize_panel(
+            result,
+            vertical=False,
+            layer=layer,
+            tile=tile,
+            extent=design.width,
+            grid=grid,
+            skip_nets=assignment.failed_nets,
+            out=pieces,
+        )
+    return pieces
+
+
+def _materialize_panel(
+    result: TrackAssignmentResult,
+    vertical: bool,
+    layer: int,
+    tile: int,
+    extent: int,
+    grid: DetailedGrid,
+    skip_nets: Set[str],
+    out: Dict[str, List[TrunkPiece]],
+) -> None:
+    by_index = {seg.index: seg for seg in result.panel.segments}
+    for seg_index, per_row in sorted(result.tracks.items()):
+        seg = by_index[seg_index]
+        if seg.net in skip_nets:
+            continue
+        nodes = _segment_nodes(per_row, vertical, layer, tile, extent)
+        for run in _split_on_blockage(nodes, grid, seg.net):
+            piece = TrunkPiece(net=seg.net, nodes=run)
+            for node in run:
+                grid.occupy(node, seg.net)
+            out.setdefault(seg.net, []).append(piece)
+
+
+def _segment_nodes(
+    per_row: Dict[int, int],
+    vertical: bool,
+    layer: int,
+    tile: int,
+    extent: int,
+) -> List[Node]:
+    """Ordered nodes of one trunk, including dogleg jogs."""
+    nodes: List[Node] = []
+    rows = sorted(per_row)
+    previous_track: Optional[int] = None
+    for row in rows:
+        track = per_row[row]
+        lo = row * tile
+        hi = min((row + 1) * tile, extent) - 1
+        if previous_track is not None and track != previous_track:
+            # Wrong-way jog at the tile boundary on the same layer; it
+            # starts above the old track (corner included) so the run
+            # stays contiguous.
+            step = 1 if track > previous_track else -1
+            for jx in range(previous_track, track + step, step):
+                nodes.append(
+                    (jx, lo, layer) if vertical else (lo, jx, layer)
+                )
+            # The jog lands on the first node of this row's run.
+            for coord in range(lo + 1, hi + 1):
+                nodes.append(
+                    (track, coord, layer) if vertical else (coord, track, layer)
+                )
+        else:
+            for coord in range(lo, hi + 1):
+                nodes.append(
+                    (track, coord, layer) if vertical else (coord, track, layer)
+                )
+        previous_track = track
+    return nodes
+
+
+def _split_on_blockage(
+    nodes: Sequence[Node], grid: DetailedGrid, net: str
+) -> List[List[Node]]:
+    """Split a node run at foreign-owned or out-of-bounds nodes."""
+    runs: List[List[Node]] = []
+    current: List[Node] = []
+    for node in nodes:
+        if grid.is_free_for(node, net):
+            current.append(node)
+        elif current:
+            runs.append(current)
+            current = []
+    if current:
+        runs.append(current)
+    return runs

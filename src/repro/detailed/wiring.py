@@ -1,0 +1,158 @@
+"""Wire-edge utilities shared by the router and the evaluator.
+
+A wire *edge* is a pair of adjacent grid nodes physically connected by
+metal or a via.  The router trims each net right after connecting it
+(releasing never-used trunk metal back to the grid — real routers'
+cleanup, and essential for routability since untrimmed trunks would
+block later pins); the evaluator re-uses the same trimming for its
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..geometry import GridPoint, Interval, Orientation, WireSegment
+from ..layout import StitchingLines
+from .grid import Node
+
+Edge = Tuple[Node, Node]
+
+
+def canonical_edge(a: Node, b: Node) -> Edge:
+    """Order-normalized edge between two adjacent nodes."""
+    if sum(abs(p - q) for p, q in zip(a, b)) != 1:
+        raise ValueError(f"nodes {a} and {b} are not adjacent")
+    return (a, b) if a <= b else (b, a)
+
+
+def path_edges(path: Sequence[Node]) -> Set[Edge]:
+    """Order-normalized wire edges of an ordered node path.
+
+    Validates adjacency: a gap in the path would silently fabricate
+    diagonal "wire", which every consumer downstream (trimming,
+    violation checking, rendering) would misinterpret.
+    """
+    out: Set[Edge] = set()
+    for a, b in zip(path, path[1:]):
+        if abs(a[0] - b[0]) + abs(a[1] - b[1]) + abs(a[2] - b[2]) != 1:
+            raise ValueError(f"non-adjacent path nodes: {a} -> {b}")
+        out.add((a, b) if a <= b else (b, a))
+    return out
+
+
+def nodes_of_edges(edges: Set[Edge]) -> Set[Node]:
+    """All endpoints of an edge set."""
+    return {node for edge in edges for node in edge}
+
+
+def trim_dangling(edges: Set[Edge], anchors: Set[Node]) -> Set[Edge]:
+    """Remove edges hanging off non-anchor degree-1 nodes.
+
+    Repeatedly peels leaf edges whose leaf endpoint is not an anchor
+    (pin) until every remaining leaf is an anchor or a cycle remains.
+    """
+    incident: Dict[Node, Set[Edge]] = {}
+    for edge in edges:
+        for node in edge:
+            incident.setdefault(node, set()).add(edge)
+    alive = set(edges)
+    frontier = [
+        node
+        for node, inc in incident.items()
+        if len(inc) == 1 and node not in anchors
+    ]
+    while frontier:
+        node = frontier.pop()
+        inc = incident.get(node, set())
+        if len(inc) != 1 or node in anchors:
+            continue
+        (edge,) = inc
+        if edge not in alive:
+            continue
+        alive.discard(edge)
+        for endpoint in edge:
+            incident[endpoint].discard(edge)
+            if len(incident[endpoint]) == 1 and endpoint not in anchors:
+                frontier.append(endpoint)
+    return alive
+
+
+def edges_to_segments(edges: Set[Edge]) -> List[WireSegment]:
+    """Merge collinear unit edges into maximal wire segments."""
+    groups: Dict[Tuple[str, int, int], List[int]] = {}
+    for a, b in edges:
+        if a[0] != b[0]:
+            groups.setdefault(("x", a[1], a[2]), []).append(min(a[0], b[0]))
+        elif a[1] != b[1]:
+            groups.setdefault(("y", a[0], a[2]), []).append(min(a[1], b[1]))
+        else:
+            groups.setdefault(("z", a[0], a[1]), []).append(min(a[2], b[2]))
+
+    segments: List[WireSegment] = []
+    for (axis, c1, c2), starts in sorted(groups.items()):
+        for lo, hi in _edge_runs(starts):
+            if axis == "x":
+                seg = WireSegment(GridPoint(lo, c1, c2), GridPoint(hi + 1, c1, c2))
+            elif axis == "y":
+                seg = WireSegment(GridPoint(c1, lo, c2), GridPoint(c1, hi + 1, c2))
+            else:
+                seg = WireSegment(GridPoint(c1, c2, lo), GridPoint(c1, c2, hi + 1))
+            segments.append(seg)
+    return segments
+
+
+def _edge_runs(starts: Iterable[int]) -> List[Tuple[int, int]]:
+    """Maximal runs of consecutive unit-edge start coordinates."""
+    ordered = sorted(set(starts))
+    runs: List[Tuple[int, int]] = []
+    if not ordered:
+        return runs
+    begin = prev = ordered[0]
+    for v in ordered[1:]:
+        if v == prev + 1:
+            prev = v
+            continue
+        runs.append((begin, prev))
+        begin = prev = v
+    runs.append((begin, prev))
+    return runs
+
+
+def via_landing_points(edges: Set[Edge], pins: Set[Node]) -> Set[Node]:
+    """(x, y, layer) points where a via (or a pin contact) lands."""
+    landings: Set[Node] = set()
+    for a, b in edges:
+        if a[2] != b[2]:
+            landings.add(a)
+            landings.add(b)
+    landings.update(pins)
+    return landings
+
+
+def short_polygon_sites(
+    edges: Set[Edge], pins: Set[Node], stitches: StitchingLines
+) -> List[Tuple[Node, Node]]:
+    """Short polygons of a net's trimmed geometry (Fig. 5c).
+
+    Returns one ``(crossing_node, end_node)`` pair per short polygon:
+    the node where the offending horizontal wire crosses the stitching
+    line, and the wire's bad line end.  The count equals the #SP
+    contribution of this net; the crossing nodes are what a repair
+    pass blocks when re-routing.
+    """
+    epsilon = stitches.epsilon
+    landings = via_landing_points(edges, pins)
+    sites: List[Tuple[Node, Node]] = []
+    for seg in edges_to_segments(edges):
+        if seg.orientation is not Orientation.HORIZONTAL or seg.length == 0:
+            continue
+        y, layer = seg.a.y, seg.a.layer
+        span = Interval(seg.a.x, seg.b.x)
+        for line in stitches.lines_crossing(span):
+            for end_x in (seg.a.x, seg.b.x):
+                if 0 < abs(end_x - line) <= epsilon and (
+                    (end_x, y, layer) in landings
+                ):
+                    sites.append(((line, y, layer), (end_x, y, layer)))
+    return sites

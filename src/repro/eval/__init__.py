@@ -1,0 +1,41 @@
+"""Violation checking and routing metrics (the paper's table columns)."""
+
+from .geometry import (
+    Edge,
+    canonical_edge,
+    edges_to_segments,
+    nodes_of_edges,
+    path_edges,
+    short_polygon_sites,
+    trim_dangling,
+    via_count,
+    via_landing_points,
+    wirelength,
+)
+from .congestion import (
+    CongestionStats,
+    detailed_layer_utilization,
+    global_congestion_stats,
+    vertex_heatmap,
+)
+from .violations import NetReport, RoutingReport, evaluate
+
+__all__ = [
+    "CongestionStats",
+    "Edge",
+    "NetReport",
+    "detailed_layer_utilization",
+    "global_congestion_stats",
+    "vertex_heatmap",
+    "RoutingReport",
+    "canonical_edge",
+    "edges_to_segments",
+    "evaluate",
+    "nodes_of_edges",
+    "path_edges",
+    "short_polygon_sites",
+    "trim_dangling",
+    "via_count",
+    "via_landing_points",
+    "wirelength",
+]

@@ -1,0 +1,45 @@
+"""Net geometry utilities for evaluation (re-exported from detailed).
+
+The wire-edge machinery lives in :mod:`repro.detailed.wiring` because
+the router itself needs trimming and short-polygon detection for its
+cleanup and repair passes; this module re-exports it for evaluation
+code plus the aggregate wirelength/via counters.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..detailed.wiring import (
+    Edge,
+    canonical_edge,
+    edges_to_segments,
+    nodes_of_edges,
+    path_edges,
+    short_polygon_sites,
+    trim_dangling,
+    via_landing_points,
+)
+
+__all__ = [
+    "Edge",
+    "canonical_edge",
+    "edges_to_segments",
+    "nodes_of_edges",
+    "path_edges",
+    "short_polygon_sites",
+    "trim_dangling",
+    "via_count",
+    "via_landing_points",
+    "wirelength",
+]
+
+
+def wirelength(edges: Set[Edge]) -> int:
+    """Total routed wirelength (planar edges only; vias not counted)."""
+    return sum(1 for a, b in edges if a[2] == b[2])
+
+
+def via_count(edges: Set[Edge]) -> int:
+    """Number of layer-transition edges."""
+    return sum(1 for a, b in edges if a[2] != b[2])

@@ -1,0 +1,150 @@
+"""Stitch-aware violation checking and routing metrics.
+
+Counts, for a completed detailed routing solution, the quantities the
+paper's tables report:
+
+* **#VV** — via violations: vias cut by a stitching line.  Only fixed
+  pins may carry them (Problem 1); each routed pin sitting on a line
+  contributes its cell-contact via, plus any routed via stack at a line
+  x (which the router only permits at such pins).
+* **vertical routing violations** — wire running along a stitching
+  line on a vertical layer; must be zero for both routers (hard
+  constraint, also enforced by the baseline per Section IV-A).
+* **#SP** — short polygons: a horizontal wire cut by a stitching line
+  whose line end lies within ε of that line *with a landing via*
+  (Fig. 5c).  A pin at the wire end counts as a landing via (the cell
+  contact).
+* routability, wirelength, via count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from ..detailed import DetailedResult
+from ..geometry import Orientation, WireSegment
+from ..layout import Design
+from .geometry import (
+    Edge,
+    edges_to_segments,
+    short_polygon_sites,
+    trim_dangling,
+    via_count,
+    wirelength,
+)
+
+
+@dataclasses.dataclass
+class NetReport:
+    """Violation breakdown for one net."""
+
+    name: str
+    routed: bool
+    via_violations: int
+    vertical_violations: int
+    short_polygons: int
+    wirelength: int
+    vias: int
+
+
+@dataclasses.dataclass
+class RoutingReport:
+    """Aggregate Table III/VII/VIII row for one routing solution."""
+
+    design_name: str
+    total_nets: int
+    routed_nets: int
+    via_violations: int
+    vertical_violations: int
+    short_polygons: int
+    wirelength: int
+    vias: int
+    cpu_seconds: float
+    nets: Dict[str, NetReport]
+
+    @property
+    def routability(self) -> float:
+        """Routed fraction (``Rout.`` column)."""
+        return self.routed_nets / self.total_nets if self.total_nets else 1.0
+
+    def row(self) -> dict:
+        """Dict row matching the paper's table columns."""
+        return {
+            "circuit": self.design_name,
+            "rout_pct": 100.0 * self.routability,
+            "vv": self.via_violations,
+            "sp": self.short_polygons,
+            "wl": self.wirelength,
+            "vias": self.vias,
+            "cpu_s": self.cpu_seconds,
+        }
+
+
+def evaluate(result: DetailedResult) -> RoutingReport:
+    """Check every net of a detailed routing result."""
+    design = result.design
+    assert design.stitches is not None
+    reports: Dict[str, NetReport] = {}
+    for name in sorted(result.nets):
+        routed_net = result.nets[name]
+        reports[name] = _check_net(design, routed_net)
+    return RoutingReport(
+        design_name=design.name,
+        total_nets=len(result.nets),
+        routed_nets=sum(1 for r in result.nets.values() if r.routed),
+        via_violations=sum(r.via_violations for r in reports.values()),
+        vertical_violations=sum(
+            r.vertical_violations for r in reports.values()
+        ),
+        short_polygons=sum(
+            r.short_polygons for r in reports.values() if r.routed
+        ),
+        wirelength=sum(r.wirelength for r in reports.values()),
+        vias=sum(r.vias for r in reports.values()),
+        cpu_seconds=result.cpu_seconds,
+        nets=reports,
+    )
+
+
+def _check_net(design: Design, routed_net) -> NetReport:
+    stitches = design.stitches
+    pins = routed_net.pin_nodes
+    edges = trim_dangling(routed_net.edges, pins)
+    segments = edges_to_segments(edges)
+
+    vv = sum(
+        1 for (x, _y) in _via_positions(edges) if stitches.is_on_line(x)
+    )
+    # Each routed pin is a cell contact (an implicit via below layer 1);
+    # a pin on a stitching line is therefore a via violation.
+    if routed_net.routed:
+        vv += sum(1 for (x, _y, _z) in pins if stitches.is_on_line(x))
+
+    vertical = _vertical_violations(design, segments)
+    sp = len(short_polygon_sites(edges, pins, stitches))
+    return NetReport(
+        name=routed_net.net.name,
+        routed=routed_net.routed,
+        via_violations=vv,
+        vertical_violations=vertical,
+        short_polygons=sp,
+        wirelength=wirelength(edges),
+        vias=via_count(edges),
+    )
+
+
+def _via_positions(edges: Set[Edge]) -> Set[Tuple[int, int]]:
+    return {(a[0], a[1]) for a, b in edges if a[2] != b[2]}
+
+
+def _vertical_violations(design: Design, segments: List[WireSegment]) -> int:
+    """Vertical wires running along a stitching line (must be zero)."""
+    stitches = design.stitches
+    count = 0
+    for seg in segments:
+        if seg.orientation is Orientation.VERTICAL and stitches.is_on_line(
+            seg.a.x
+        ):
+            count += 1
+    return count

@@ -1,0 +1,150 @@
+"""Integer grid points and rectangles.
+
+All routing geometry lives on an integer grid whose unit is one routing
+pitch.  ``Point`` is a 2-D location, ``GridPoint`` adds a routing layer
+index, and ``Rect`` is a closed axis-aligned rectangle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Point:
+    """A 2-D integer grid location (x = column, y = row)."""
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan(self, other: "Point") -> int:
+        """Manhattan distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class GridPoint:
+    """A routing-grid node: 2-D location plus layer index (1-based)."""
+
+    x: int
+    y: int
+    layer: int
+
+    @property
+    def point(self) -> Point:
+        """The 2-D projection of this node."""
+        return Point(self.x, self.y)
+
+    def manhattan(self, other: "GridPoint") -> int:
+        """Manhattan distance including one unit per layer hop."""
+        return (
+            abs(self.x - other.x)
+            + abs(self.y - other.y)
+            + abs(self.layer - other.layer)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle on the grid.
+
+    ``lo_x <= hi_x`` and ``lo_y <= hi_y``; a degenerate rectangle with
+    equal coordinates is a single point.
+    """
+
+    lo_x: int
+    lo_y: int
+    hi_x: int
+    hi_y: int
+
+    def __post_init__(self) -> None:
+        if self.lo_x > self.hi_x or self.lo_y > self.hi_y:
+            raise ValueError(f"malformed rectangle: {self}")
+
+    @classmethod
+    def from_points(cls, a: Point, b: Point) -> "Rect":
+        """Bounding box of two points."""
+        return cls(
+            min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y)
+        )
+
+    @property
+    def width(self) -> int:
+        """Number of grid columns covered (inclusive)."""
+        return self.hi_x - self.lo_x + 1
+
+    @property
+    def height(self) -> int:
+        """Number of grid rows covered (inclusive)."""
+        return self.hi_y - self.lo_y + 1
+
+    @property
+    def area(self) -> int:
+        """Number of grid cells covered."""
+        return self.width * self.height
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` lies inside this closed rectangle."""
+        return self.lo_x <= p.x <= self.hi_x and self.lo_y <= p.y <= self.hi_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle."""
+        return (
+            self.lo_x <= other.lo_x
+            and self.lo_y <= other.lo_y
+            and other.hi_x <= self.hi_x
+            and other.hi_y <= self.hi_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the closed rectangles share at least one grid cell."""
+        return not (
+            other.hi_x < self.lo_x
+            or self.hi_x < other.lo_x
+            or other.hi_y < self.lo_y
+            or self.hi_y < other.lo_y
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.lo_x, other.lo_x),
+            max(self.lo_y, other.lo_y),
+            min(self.hi_x, other.hi_x),
+            min(self.hi_y, other.hi_y),
+        )
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of both rectangles."""
+        return Rect(
+            min(self.lo_x, other.lo_x),
+            min(self.lo_y, other.lo_y),
+            max(self.hi_x, other.hi_x),
+            max(self.hi_y, other.hi_y),
+        )
+
+    def expanded(self, margin: int) -> "Rect":
+        """A copy grown by ``margin`` cells on every side."""
+        return Rect(
+            self.lo_x - margin,
+            self.lo_y - margin,
+            self.hi_x + margin,
+            self.hi_y + margin,
+        )
+
+    def clipped(self, bounds: "Rect") -> "Rect | None":
+        """This rectangle clipped to ``bounds`` (``None`` if outside)."""
+        return self.intersection(bounds)
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over every grid cell in the rectangle."""
+        for y in range(self.lo_y, self.hi_y + 1):
+            for x in range(self.lo_x, self.hi_x + 1):
+                yield Point(x, y)

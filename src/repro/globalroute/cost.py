@@ -1,0 +1,80 @@
+"""Global routing congestion costs, Eqs. (1)–(3).
+
+The cost of edge ``e_i`` is ``2^(d_e(i)/c_e(i)) - 1`` and the cost of
+vertex ``v_j`` is ``2^(d_v(j)/c_v(j)) - 1``; a path costs the sum of
+its edge and vertex costs.  Zero-capacity resources are priced as if
+saturated plus the would-be demand, so the router avoids them without
+needing special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .graph import GlobalGraph, Tile
+
+#: Cost assigned per unit of demand on a zero-capacity resource.
+_ZERO_CAPACITY_PENALTY = 64.0
+
+
+def congestion_cost(demand: float, capacity: float) -> float:
+    """The exponential congestion cost ``2^(d/c) - 1``."""
+    if demand <= 0:
+        return 0.0
+    if capacity <= 0:
+        return _ZERO_CAPACITY_PENALTY * demand
+    return 2.0 ** (demand / capacity) - 1.0
+
+
+def edge_cost(graph: GlobalGraph, key: Tuple[str, int, int]) -> float:
+    """ψ_e of Eq. (1) for the current demand on edge ``key``."""
+    return congestion_cost(graph.edge_demand(key), graph.edge_capacity(key))
+
+
+def edge_cost_if_used(graph: GlobalGraph, key: Tuple[str, int, int]) -> float:
+    """ψ_e after hypothetically adding one wire to edge ``key``.
+
+    Pricing the *next* unit of demand (rather than the current one)
+    makes the first wire over capacity pay the marginal congestion it
+    creates, which is what sequential routing needs.
+    """
+    kind, i, j = key
+    history = (
+        graph.h_history[i, j] if kind == "h" else graph.v_history[i, j]
+    )
+    return (
+        congestion_cost(graph.edge_demand(key) + 1, graph.edge_capacity(key))
+        + history
+    )
+
+
+def vertex_cost(graph: GlobalGraph, tile: Tile) -> float:
+    """ψ_v of Eq. (2) for the current line-end demand on ``tile``."""
+    i, j = tile
+    return congestion_cost(
+        float(graph.vertex_demand[i, j]), float(graph.vertex_capacity[i, j])
+    )
+
+
+def vertex_cost_if_used(graph: GlobalGraph, tile: Tile) -> float:
+    """ψ_v after hypothetically adding one line end to ``tile``."""
+    i, j = tile
+    return congestion_cost(
+        float(graph.vertex_demand[i, j]) + 1.0,
+        float(graph.vertex_capacity[i, j]),
+    )
+
+
+def path_cost(
+    graph: GlobalGraph,
+    tiles: Sequence[Tile],
+    include_vertex_cost: bool = True,
+) -> float:
+    """Ψ(P) of Eq. (3) for an already-routed tile path."""
+    total = 0.0
+    for a, b in zip(tiles, tiles[1:]):
+        total += edge_cost(graph, graph.edge_between(a, b))
+    if include_vertex_cost:
+        for tile in tiles:
+            total += vertex_cost(graph, tile)
+    return total

@@ -1,0 +1,23 @@
+"""JSON persistence for designs and routing reports."""
+
+from .serialize import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_design,
+    save_report,
+)
+
+__all__ = [
+    "design_from_dict",
+    "design_to_dict",
+    "load_design",
+    "load_report",
+    "report_from_dict",
+    "report_to_dict",
+    "save_design",
+    "save_report",
+]

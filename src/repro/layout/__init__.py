@@ -1,0 +1,17 @@
+"""Layout model: technology, stitching lines, netlist, design instance."""
+
+from .design import Design
+from .netlist import Net, Netlist, Pin
+from .stitch import StitchingLines, stitch_lines_for_width
+from .technology import Direction, Technology
+
+__all__ = [
+    "Design",
+    "Direction",
+    "Net",
+    "Netlist",
+    "Pin",
+    "StitchingLines",
+    "Technology",
+    "stitch_lines_for_width",
+]

@@ -1,0 +1,91 @@
+"""The routing problem instance: netlist + grid + layers + stitching lines.
+
+A :class:`Design` corresponds to one row of Table I/II: a die (in grid
+pitches), a layer stack, a netlist, and the uniformly distributed
+stitching lines of the MEBL writing strategy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..config import RouterConfig
+from ..geometry import Point, Rect
+from .netlist import Netlist
+from .stitch import StitchingLines
+from .technology import Technology
+
+
+@dataclasses.dataclass
+class Design:
+    """A complete stitch-aware routing instance (Problem 1).
+
+    Attributes:
+        name: circuit name (e.g. ``"S38417"``).
+        width: die width in routing pitches (number of vertical tracks).
+        height: die height in pitches (number of horizontal tracks).
+        technology: layer stack.
+        netlist: the nets to route.
+        stitches: stitching-line set; built uniformly from ``config``
+            when not supplied.
+        config: framework parameters.
+    """
+
+    name: str
+    width: int
+    height: int
+    technology: Technology
+    netlist: Netlist
+    config: RouterConfig = dataclasses.field(default_factory=RouterConfig)
+    stitches: StitchingLines | None = None
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError("design must span at least a 2x2 grid")
+        if self.stitches is None:
+            self.stitches = StitchingLines.uniform(self.width, self.config)
+        for pin in self.netlist.pins:
+            if not self.bounds.contains(pin.location):
+                raise ValueError(
+                    f"pin {pin.name!r} at {pin.location} outside die "
+                    f"{self.width}x{self.height}"
+                )
+            if not 1 <= pin.layer <= self.technology.num_layers:
+                raise ValueError(
+                    f"pin {pin.name!r} on invalid layer {pin.layer}"
+                )
+
+    @property
+    def bounds(self) -> Rect:
+        """The die rectangle in grid coordinates."""
+        return Rect(0, 0, self.width - 1, self.height - 1)
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets."""
+        return len(self.netlist)
+
+    @property
+    def num_pins(self) -> int:
+        """Total pin count."""
+        return self.netlist.num_pins
+
+    def pin_on_stitch_line(self, location: Point) -> bool:
+        """Whether a pin at ``location`` sits on a stitching line.
+
+        Connecting such a pin requires a via cut by the line — a via
+        violation that Problem 1 permits only on fixed pins.
+        """
+        assert self.stitches is not None
+        return self.stitches.is_on_line(location.x)
+
+    def summary(self) -> dict:
+        """One Table I/II row for this design."""
+        return {
+            "circuit": self.name,
+            "size": f"{self.width}x{self.height}",
+            "layers": self.technology.num_layers,
+            "nets": self.num_nets,
+            "pins": self.num_pins,
+            "stitch_lines": len(self.stitches or ()),
+        }

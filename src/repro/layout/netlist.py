@@ -1,0 +1,99 @@
+"""Netlist model: pins, nets, and the netlist container.
+
+Pins are fixed terminals on layer 1 (the standard-cell pin layer in the
+paper's benchmarks).  Via violations are allowed *only* on fixed pins
+(Problem 1), which is why the generator may legitimately place pins on
+stitching lines — those become the unavoidable #VV counts of Tables
+III/VII/VIII.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from ..geometry import Point, Rect
+
+
+@dataclasses.dataclass(frozen=True)
+class Pin:
+    """A fixed net terminal at a grid location on a given layer."""
+
+    name: str
+    location: Point
+    layer: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Net:
+    """A named net connecting two or more pins."""
+
+    name: str
+    pins: tuple[Pin, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pins) < 2:
+            raise ValueError(f"net {self.name!r} needs at least two pins")
+        object.__setattr__(self, "pins", tuple(self.pins))
+
+    @property
+    def num_pins(self) -> int:
+        """Number of terminals."""
+        return len(self.pins)
+
+    @property
+    def bbox(self) -> Rect:
+        """Bounding box of the pin locations."""
+        xs = [p.location.x for p in self.pins]
+        ys = [p.location.y for p in self.pins]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def hpwl(self) -> int:
+        """Half-perimeter wirelength of the pin bounding box."""
+        box = self.bbox
+        return (box.hi_x - box.lo_x) + (box.hi_y - box.lo_y)
+
+
+@dataclasses.dataclass
+class Netlist:
+    """A container of nets with name-based lookup."""
+
+    nets: list[Net]
+
+    def __post_init__(self) -> None:
+        names = [n.name for n in self.nets]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate net names in netlist")
+        self._by_name = {n.name: n for n in self.nets}
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self) -> Iterator[Net]:
+        return iter(self.nets)
+
+    def __getitem__(self, name: str) -> Net:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def num_pins(self) -> int:
+        """Total number of pins across all nets."""
+        return sum(n.num_pins for n in self.nets)
+
+    @property
+    def pins(self) -> list[Pin]:
+        """All pins of all nets."""
+        return [p for n in self.nets for p in n.pins]
+
+    def bbox(self) -> Rect:
+        """Bounding box of every pin in the netlist."""
+        if not self.nets:
+            raise ValueError("empty netlist has no bounding box")
+        box = self.nets[0].bbox
+        for net in self.nets[1:]:
+            box = box.union_bbox(net.bbox)
+        return box

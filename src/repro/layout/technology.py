@@ -1,0 +1,81 @@
+"""Routing technology: layer stack and preferred directions.
+
+The paper's testcases use 3 metal layers (MCNC) or 6 (Faraday) with
+alternating preferred directions.  We follow the common HVH convention:
+layer 1 is horizontal, layer 2 vertical, layer 3 horizontal, and so on.
+Stitch-aware track assignment only acts on *vertical* (column-panel)
+layers because short polygons arise from vertical-segment line ends
+(Section III-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Layer-stack description.
+
+    Attributes:
+        num_layers: number of routing layers (>= 2).
+        first_direction: preferred direction of layer 1; layers then
+            alternate.  The paper's figures show horizontal wires on the
+            lowest drawn layer, so the default is HVH.
+    """
+
+    num_layers: int
+    first_direction: Direction = Direction.HORIZONTAL
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 2:
+            raise ValueError("at least two routing layers are required")
+
+    def direction(self, layer: int) -> Direction:
+        """Preferred direction of 1-based ``layer``."""
+        self._check_layer(layer)
+        flip = (layer - 1) % 2 == 1
+        if flip:
+            return (
+                Direction.VERTICAL
+                if self.first_direction is Direction.HORIZONTAL
+                else Direction.HORIZONTAL
+            )
+        return self.first_direction
+
+    def is_horizontal(self, layer: int) -> bool:
+        """Whether ``layer`` routes in the x direction."""
+        return self.direction(layer) is Direction.HORIZONTAL
+
+    def is_vertical(self, layer: int) -> bool:
+        """Whether ``layer`` routes in the y direction."""
+        return self.direction(layer) is Direction.VERTICAL
+
+    @property
+    def layers(self) -> range:
+        """Iterable of 1-based layer indices."""
+        return range(1, self.num_layers + 1)
+
+    @property
+    def horizontal_layers(self) -> list[int]:
+        """All layers whose preferred direction is horizontal."""
+        return [m for m in self.layers if self.is_horizontal(m)]
+
+    @property
+    def vertical_layers(self) -> list[int]:
+        """All layers whose preferred direction is vertical."""
+        return [m for m in self.layers if self.is_vertical(m)]
+
+    def _check_layer(self, layer: int) -> None:
+        if not 1 <= layer <= self.num_layers:
+            raise ValueError(
+                f"layer {layer} outside stack of {self.num_layers} layers"
+            )

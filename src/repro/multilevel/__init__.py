@@ -1,0 +1,11 @@
+"""Two-pass bottom-up multilevel routing framework (Section II-B)."""
+
+from .framework import TwoPassFramework, TwoPassOutcome
+from .scheme import CoarseTile, MultilevelScheme
+
+__all__ = [
+    "CoarseTile",
+    "MultilevelScheme",
+    "TwoPassFramework",
+    "TwoPassOutcome",
+]

@@ -1,0 +1,87 @@
+"""The two-pass bottom-up routing framework driver (Fig. 6).
+
+Pass 1 walks the coarsening hierarchy bottom-up and finds the global
+route of each net at the level where it becomes local.  An intermediate
+stage then performs layer/track assignment on the completed global
+routing solution, and pass 2 walks bottom-up again performing detailed
+routing (pin-to-segment and segment-to-segment) with rip-up and
+re-route for failed nets.
+
+The driver is deliberately generic: the three stages are injected as
+callables, so the stitch-aware flow and the baseline flow of Table III
+share the exact same orchestration and differ only in stage policies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Generic, List, TypeVar
+
+from ..layout import Design, Net
+from .scheme import MultilevelScheme
+
+GlobalResultT = TypeVar("GlobalResultT")
+AssignResultT = TypeVar("AssignResultT")
+DetailResultT = TypeVar("DetailResultT")
+
+
+@dataclasses.dataclass
+class TwoPassOutcome(Generic[GlobalResultT, AssignResultT, DetailResultT]):
+    """Everything produced by one two-pass run."""
+
+    global_result: GlobalResultT
+    assign_result: AssignResultT
+    detail_result: DetailResultT
+    level_order: List[List[Net]]
+    cpu_seconds: float
+
+
+class TwoPassFramework(Generic[GlobalResultT, AssignResultT, DetailResultT]):
+    """Orchestrates pass 1 -> assignment -> pass 2 (Fig. 6).
+
+    Args:
+        global_stage: callable ``(design, ordered_nets) -> G`` that
+            globally routes the nets in the given bottom-up order.
+        assign_stage: callable ``(design, G) -> A`` performing
+            layer/track assignment on the global routing solution.
+        detail_stage: callable ``(design, G, A, ordered_nets) -> D``
+            performing detailed routing in bottom-up order.
+    """
+
+    def __init__(
+        self,
+        global_stage: Callable[[Design, List[Net]], GlobalResultT],
+        assign_stage: Callable[[Design, GlobalResultT], AssignResultT],
+        detail_stage: Callable[
+            [Design, GlobalResultT, AssignResultT, List[Net]], DetailResultT
+        ],
+    ) -> None:
+        self._global_stage = global_stage
+        self._assign_stage = assign_stage
+        self._detail_stage = detail_stage
+
+    def run(
+        self, design: Design, scheme: MultilevelScheme
+    ) -> TwoPassOutcome[GlobalResultT, AssignResultT, DetailResultT]:
+        """Execute the two bottom-up passes on ``design``."""
+        start = time.perf_counter()
+        by_level = scheme.nets_by_level()
+        level_order = [
+            sorted(by_level.get(level, []), key=lambda n: (n.hpwl, n.name))
+            for level in range(scheme.num_levels)
+        ]
+        ordered = [net for level in level_order for net in level]
+
+        global_result = self._global_stage(design, ordered)
+        assign_result = self._assign_stage(design, global_result)
+        detail_result = self._detail_stage(
+            design, global_result, assign_result, ordered
+        )
+        return TwoPassOutcome(
+            global_result=global_result,
+            assign_result=assign_result,
+            detail_result=detail_result,
+            level_order=level_order,
+            cpu_seconds=time.perf_counter() - start,
+        )

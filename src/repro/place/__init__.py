@@ -1,0 +1,5 @@
+"""Stitch-aware placement refinement (the paper's future-work stage)."""
+
+from .refine import RefinementResult, refine_pin_placement
+
+__all__ = ["RefinementResult", "refine_pin_placement"]

@@ -1,0 +1,56 @@
+"""MEBL rasterization substrate: rendering, dithering, defect scoring."""
+
+from .defects import (
+    DefectScore,
+    apply_overlay,
+    relative_pattern_error,
+    short_polygon_experiment,
+)
+from .dither import DitherKernel, boundary_error_pixels, dither
+from .overlay_study import (
+    PATTERN_KINDS,
+    OverlayDistortion,
+    overlay_study,
+    pattern_distortion,
+)
+from .from_routing import (
+    RoutedShortPolygonDefect,
+    rasterize_window,
+    score_short_polygons,
+    window_polygons,
+)
+from .image_io import load_pgm, save_pgm, to_pgm
+from .render import Polygon, render
+from .throughput import (
+    ThroughputEstimate,
+    WriterConfig,
+    beams_for_target,
+    estimate_throughput,
+)
+
+__all__ = [
+    "DefectScore",
+    "DitherKernel",
+    "OverlayDistortion",
+    "PATTERN_KINDS",
+    "overlay_study",
+    "pattern_distortion",
+    "ThroughputEstimate",
+    "WriterConfig",
+    "beams_for_target",
+    "estimate_throughput",
+    "RoutedShortPolygonDefect",
+    "load_pgm",
+    "rasterize_window",
+    "score_short_polygons",
+    "window_polygons",
+    "save_pgm",
+    "to_pgm",
+    "Polygon",
+    "apply_overlay",
+    "boundary_error_pixels",
+    "dither",
+    "relative_pattern_error",
+    "render",
+    "short_polygon_experiment",
+]

@@ -1,0 +1,55 @@
+"""Portable graymap (PGM) output for rasterization artifacts.
+
+The rendering/dithering experiments produce small bitmaps; PGM is the
+simplest viewable format that needs no imaging dependency.  ``P2``
+(ASCII) keeps the files diffable in test fixtures and code review.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+PathLike = Union[str, pathlib.Path]
+
+
+def to_pgm(image: np.ndarray, max_value: int = 255) -> str:
+    """ASCII PGM document for a 2-D image.
+
+    Float images are interpreted as intensities in [0, 1]; integer
+    images as already-scaled gray levels (binary bitmaps print as
+    0/``max_value``).
+    """
+    if image.ndim != 2:
+        raise ValueError("PGM needs a 2-D image")
+    if np.issubdtype(image.dtype, np.floating):
+        scaled = np.clip(image, 0.0, 1.0) * max_value
+    else:
+        unique_max = int(image.max()) if image.size else 0
+        factor = max_value if unique_max <= 1 else 1
+        scaled = image * factor
+    data = np.rint(scaled).astype(int)
+    height, width = data.shape
+    lines = [f"P2", f"{width} {height}", str(max_value)]
+    for row in data:
+        lines.append(" ".join(str(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def save_pgm(image: np.ndarray, path: PathLike, max_value: int = 255) -> None:
+    """Write ``image`` to ``path`` as ASCII PGM."""
+    pathlib.Path(path).write_text(to_pgm(image, max_value))
+
+
+def load_pgm(path: PathLike) -> np.ndarray:
+    """Read an ASCII PGM file back into a float image in [0, 1]."""
+    tokens = pathlib.Path(path).read_text().split()
+    if not tokens or tokens[0] != "P2":
+        raise ValueError("not an ASCII PGM (P2) file")
+    width, height, max_value = int(tokens[1]), int(tokens[2]), int(tokens[3])
+    values = np.array([int(t) for t in tokens[4 : 4 + width * height]])
+    if values.size != width * height:
+        raise ValueError("truncated PGM data")
+    return values.reshape(height, width).astype(np.float64) / max_value

@@ -1,0 +1,69 @@
+"""Rendering: layout polygons to a gray-level pixel bitmap.
+
+MEBL data preparation rasterizes the layout so each beam can be turned
+on or off per pixel (Section II-A).  Rendering slices the layout into
+pixels and assigns each pixel an intensity proportional to the pattern
+coverage inside it — the first step of Fig. 3.
+
+Geometry is continuous (floats, in pixel units): a wire drawn at
+sub-pixel width/offset produces the fractional gray levels that make
+dithering non-trivial.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Polygon:
+    """An axis-aligned rectangle in continuous pixel coordinates."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x0 >= self.x1 or self.y0 >= self.y1:
+            raise ValueError(f"malformed polygon: {self}")
+
+    @property
+    def area(self) -> float:
+        """Geometric area in square pixels."""
+        return (self.x1 - self.x0) * (self.y1 - self.y0)
+
+
+def render(
+    polygons: Sequence[Polygon], width: int, height: int
+) -> np.ndarray:
+    """Gray-level bitmap (float in [0, 1]) of coverage per pixel.
+
+    Args:
+        polygons: pattern rectangles in pixel coordinates.
+        width, height: bitmap dimensions in pixels.
+
+    Returns:
+        ``(height, width)`` float array; entry ``[y, x]`` is the
+        fraction of pixel ``(x, y)`` covered by patterns (overlapping
+        polygons saturate at 1).
+    """
+    image = np.zeros((height, width), dtype=np.float64)
+    for poly in polygons:
+        x_lo = max(0, int(np.floor(poly.x0)))
+        x_hi = min(width, int(np.ceil(poly.x1)))
+        y_lo = max(0, int(np.floor(poly.y0)))
+        y_hi = min(height, int(np.ceil(poly.y1)))
+        for y in range(y_lo, y_hi):
+            cover_y = min(poly.y1, y + 1) - max(poly.y0, y)
+            if cover_y <= 0:
+                continue
+            for x in range(x_lo, x_hi):
+                cover_x = min(poly.x1, x + 1) - max(poly.x0, x)
+                if cover_x > 0:
+                    image[y, x] += cover_x * cover_y
+    np.clip(image, 0.0, 1.0, out=image)
+    return image

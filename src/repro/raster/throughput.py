@@ -1,0 +1,111 @@
+"""MEBL throughput model (the paper's Section I motivation).
+
+Single-beam EBL throughput is limited by writing every pixel serially —
+the reason EBL never reached volume manufacturing.  MEBL splits the
+layout into stripes written by thousands of parallel beams, which is
+why stitching lines (and this whole library) exist.  This small model
+makes the trade quantitative: wafers per hour against beam count, with
+the stripe count (and therefore the stitching-line count) that a given
+configuration implies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class WriterConfig:
+    """Direct-write system parameters.
+
+    Attributes:
+        pixel_rate_hz: pixels one beam exposes per second.
+        num_beams: beams writing in parallel (1 = conventional EBL).
+        stripe_width_pixels: deflection-limited stripe width; the
+            layout splits into ceil(width / stripe_width) stripes.
+        overhead_s: per-wafer mechanical/settling overhead in seconds.
+    """
+
+    pixel_rate_hz: float
+    num_beams: int = 1
+    stripe_width_pixels: int = 4096
+    overhead_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.pixel_rate_hz <= 0:
+            raise ValueError("pixel rate must be positive")
+        if self.num_beams < 1:
+            raise ValueError("need at least one beam")
+        if self.stripe_width_pixels < 1:
+            raise ValueError("stripe width must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputEstimate:
+    """Writing-time breakdown for one wafer layer."""
+
+    write_time_s: float
+    num_stripes: int
+    num_stitching_lines: int
+    wafers_per_hour: float
+
+
+def estimate_throughput(
+    config: WriterConfig,
+    layout_width_pixels: int,
+    layout_height_pixels: int,
+    dies_per_wafer: int = 100,
+) -> ThroughputEstimate:
+    """Writing time and stitching-line count for one wafer layer.
+
+    Beams write stripes concurrently; with more beams than stripes the
+    extra beams idle (stripes are the parallelism unit), so the time is
+    governed by ``ceil(stripes / beams)`` sequential stripe passes.
+    """
+    if layout_width_pixels < 1 or layout_height_pixels < 1:
+        raise ValueError("layout dimensions must be positive")
+    num_stripes = math.ceil(layout_width_pixels / config.stripe_width_pixels)
+    pixels_per_stripe = (
+        min(config.stripe_width_pixels, layout_width_pixels)
+        * layout_height_pixels
+    )
+    passes = math.ceil(num_stripes / config.num_beams)
+    die_time = passes * pixels_per_stripe / config.pixel_rate_hz
+    wafer_time = die_time * dies_per_wafer + config.overhead_s
+    return ThroughputEstimate(
+        write_time_s=wafer_time,
+        num_stripes=num_stripes,
+        num_stitching_lines=max(0, num_stripes - 1),
+        wafers_per_hour=3600.0 / wafer_time,
+    )
+
+
+def beams_for_target(
+    config: WriterConfig,
+    layout_width_pixels: int,
+    layout_height_pixels: int,
+    target_wafers_per_hour: float,
+    dies_per_wafer: int = 100,
+    max_beams: int = 1_000_000,
+) -> int:
+    """Smallest beam count reaching the throughput target.
+
+    Raises :class:`ValueError` when even ``max_beams`` cannot reach it
+    (the overhead floor dominates).
+    """
+    if target_wafers_per_hour <= 0:
+        raise ValueError("target must be positive")
+    beams = 1
+    while beams <= max_beams:
+        candidate = dataclasses.replace(config, num_beams=beams)
+        estimate = estimate_throughput(
+            candidate, layout_width_pixels, layout_height_pixels, dies_per_wafer
+        )
+        if estimate.wafers_per_hour >= target_wafers_per_hour:
+            return beams
+        beams *= 2
+    raise ValueError(
+        f"target {target_wafers_per_hour} wafers/h unreachable with "
+        f"{max_beams} beams (overhead floor)"
+    )

@@ -1,0 +1,5 @@
+"""Paper-style result tables."""
+
+from .tables import comparison_row, format_cell, format_table
+
+__all__ = ["comparison_row", "format_cell", "format_table"]

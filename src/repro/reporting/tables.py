@@ -1,0 +1,92 @@
+"""Paper-style table formatting.
+
+Every benchmark prints its results with :func:`format_table`, aligned
+like the paper's tables, and :func:`comparison_row` appends the
+normalized "Comp." row (geometric-free simple ratio of column sums,
+matching how the paper normalizes its final rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Value = Union[str, int, float, None]
+
+
+def format_cell(value: Value, decimals: int = 2) -> str:
+    """Human-readable cell text."""
+    if value is None:
+        return "NA"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Value]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    decimals: int = 2,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return title or "(empty table)"
+    columns = list(columns) if columns else list(rows[0])
+    header = [str(c) for c in columns]
+    body = [
+        [format_cell(row.get(c), decimals) for c in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body))
+        for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def comparison_row(
+    rows: Sequence[Dict[str, Value]],
+    reference_rows: Sequence[Dict[str, Value]],
+    columns: Sequence[str],
+    label_column: str,
+    label: str = "Comp.",
+) -> Dict[str, Value]:
+    """Normalized totals row: sum(rows) / sum(reference_rows) per column.
+
+    Non-numeric or missing entries are skipped; a zero reference sum
+    yields ``None`` (printed as NA), matching the paper's ``-*`` marks.
+    """
+    out: Dict[str, Value] = {label_column: label}
+    for column in columns:
+        if column == label_column:
+            continue
+        total = _numeric_sum(rows, column)
+        reference = _numeric_sum(reference_rows, column)
+        if total is None or reference in (None, 0):
+            out[column] = None
+        else:
+            out[column] = total / reference
+    return out
+
+
+def _numeric_sum(
+    rows: Sequence[Dict[str, Value]], column: str
+) -> Optional[float]:
+    total = 0.0
+    seen = False
+    for row in rows:
+        value = row.get(column)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            total += float(value)
+            seen = True
+    return total if seen else None

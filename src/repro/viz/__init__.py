@@ -1,0 +1,11 @@
+"""Layout visualization: SVG (Figs. 15-16) and ASCII debugging views."""
+
+from .ascii_art import render_layer_ascii
+from .svg import LAYER_COLORS, layer_color, render_routing_svg
+
+__all__ = [
+    "LAYER_COLORS",
+    "layer_color",
+    "render_layer_ascii",
+    "render_routing_svg",
+]

@@ -1,0 +1,58 @@
+"""ASCII rendering of small routed windows (debugging and examples).
+
+One character per grid cell on a chosen layer: ``|`` stitching line,
+``-``/``=`` horizontal wire, ``!`` vertical wire, ``x`` via, ``o`` pin,
+``.`` empty.  Layers are drawn separately because terminals are flat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..detailed import DetailedResult
+from ..detailed.wiring import trim_dangling
+from ..geometry import Rect
+
+
+def render_layer_ascii(
+    result: DetailedResult,
+    layer: int,
+    window: Optional[Rect] = None,
+) -> str:
+    """Text picture of one routing layer inside ``window``."""
+    design = result.design
+    assert design.stitches is not None
+    window = window or design.bounds
+    grid: List[List[str]] = [
+        ["." for _ in range(window.width)] for _ in range(window.height)
+    ]
+
+    def put(x: int, y: int, ch: str) -> None:
+        if window.lo_x <= x <= window.hi_x and window.lo_y <= y <= window.hi_y:
+            grid[window.hi_y - y][x - window.lo_x] = ch
+
+    for x in design.stitches.lines_in_range(window.lo_x, window.hi_x):
+        for y in range(window.lo_y, window.hi_y + 1):
+            put(x, y, "|")
+
+    horizontal_mark = "-" if design.technology.is_horizontal(layer) else "="
+    for record in result.nets.values():
+        edges = trim_dangling(record.edges, record.pin_nodes)
+        for a, b in sorted(edges):
+            if a[2] != b[2]:
+                if layer in (a[2], b[2]):
+                    put(a[0], a[1], "x")
+                continue
+            if a[2] != layer:
+                continue
+            if a[1] == b[1]:
+                put(a[0], a[1], horizontal_mark)
+                put(b[0], b[1], horizontal_mark)
+            else:
+                put(a[0], a[1], "!")
+                put(a[0], b[1], "!")
+        for x, y, pin_layer in record.pin_nodes:
+            if pin_layer == layer:
+                put(x, y, "o")
+
+    return "\n".join("".join(row) for row in grid)

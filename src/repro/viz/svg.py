@@ -1,0 +1,122 @@
+"""SVG rendering of routed layouts (Figs. 15 and 16).
+
+Pure-Python SVG writer: wire segments colored per layer, stitching
+lines dashed, vias as squares, pins as dots, short polygons
+highlighted.  ``window`` crops to a local view for Fig. 16-style
+close-ups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..detailed import DetailedResult
+from ..detailed.wiring import short_polygon_sites, trim_dangling
+from ..eval import edges_to_segments
+from ..geometry import Orientation, Rect, WireSegment
+
+#: Layer palette (1-based; cycles for deep stacks).
+LAYER_COLORS = (
+    "#1f77b4",  # layer 1 horizontal - blue
+    "#d62728",  # layer 2 vertical   - red
+    "#2ca02c",  # layer 3 horizontal - green
+    "#9467bd",  # layer 4            - purple
+    "#ff7f0e",  # layer 5            - orange
+    "#8c564b",  # layer 6            - brown
+)
+
+_PX = 8  # pixels per routing pitch
+
+
+def layer_color(layer: int) -> str:
+    """Display color of a 1-based routing layer."""
+    return LAYER_COLORS[(layer - 1) % len(LAYER_COLORS)]
+
+
+def render_routing_svg(
+    result: DetailedResult,
+    window: Optional[Rect] = None,
+    highlight_short_polygons: bool = True,
+) -> str:
+    """Full or windowed SVG view of a detailed routing result."""
+    design = result.design
+    assert design.stitches is not None
+    window = window or design.bounds
+    width_px = window.width * _PX
+    height_px = window.height * _PX
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width_px}" height="{height_px}" '
+        f'viewBox="0 0 {width_px} {height_px}">',
+        f'<rect width="{width_px}" height="{height_px}" fill="#ffffff"/>',
+    ]
+
+    def sx(x: int) -> float:
+        return (x - window.lo_x + 0.5) * _PX
+
+    def sy(y: int) -> float:
+        # SVG y grows downward; flip so the layout reads naturally.
+        return (window.hi_y - y + 0.5) * _PX
+
+    # Stitching lines first (under the wires).
+    for line in design.stitches.lines_in_range(window.lo_x, window.hi_x):
+        parts.append(
+            f'<line x1="{sx(line)}" y1="0" x2="{sx(line)}" y2="{height_px}" '
+            f'stroke="#888888" stroke-width="1.5" stroke-dasharray="6,4"/>'
+        )
+
+    sp_markers: List[Tuple[int, int, int]] = []
+    for name in sorted(result.nets):
+        record = result.nets[name]
+        edges = trim_dangling(record.edges, record.pin_nodes)
+        if highlight_short_polygons:
+            for _crossing, end in short_polygon_sites(
+                edges, record.pin_nodes, design.stitches
+            ):
+                sp_markers.append(end)
+        for seg in edges_to_segments(edges):
+            parts.extend(_segment_svg(seg, window, sx, sy))
+        for x, y, _layer in sorted(record.pin_nodes):
+            if window.contains_rect(Rect(x, y, x, y)):
+                parts.append(
+                    f'<circle cx="{sx(x)}" cy="{sy(y)}" r="{_PX * 0.28:.1f}" '
+                    f'fill="#000000"/>'
+                )
+
+    for x, y, _layer in sp_markers:
+        if window.contains_rect(Rect(x, y, x, y)):
+            parts.append(
+                f'<circle cx="{sx(x)}" cy="{sy(y)}" r="{_PX * 0.8:.1f}" '
+                f'fill="none" stroke="#ff00ff" stroke-width="2"/>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _segment_svg(seg: WireSegment, window: Rect, sx, sy) -> List[str]:
+    out: List[str] = []
+    orient = seg.orientation
+    if orient is Orientation.VIA:
+        x, y = seg.a.x, seg.a.y
+        if window.contains_rect(Rect(x, y, x, y)):
+            half = _PX * 0.3
+            out.append(
+                f'<rect x="{sx(x) - half:.1f}" y="{sy(y) - half:.1f}" '
+                f'width="{2 * half:.1f}" height="{2 * half:.1f}" '
+                f'fill="#333333"/>'
+            )
+        return out
+    box = Rect(seg.a.x, seg.a.y, seg.b.x, seg.b.y)
+    clipped = box.clipped(window)
+    if clipped is None:
+        return out
+    color = layer_color(seg.layer)
+    out.append(
+        f'<line x1="{sx(clipped.lo_x)}" y1="{sy(clipped.lo_y)}" '
+        f'x2="{sx(clipped.hi_x)}" y2="{sy(clipped.hi_y)}" '
+        f'stroke="{color}" stroke-width="{_PX * 0.45:.1f}" '
+        f'stroke-linecap="round" opacity="0.85"/>'
+    )
+    return out

@@ -1,0 +1,71 @@
+"""Tests for topological ordering and DAG longest paths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import CycleError, longest_path_lengths, topological_order
+
+
+class TestTopologicalOrder:
+    def test_linear_chain(self):
+        edges = [(0, 1, 1.0), (1, 2, 1.0)]
+        order = topological_order(range(3), edges)
+        assert order.index(0) < order.index(1) < order.index(2)
+
+    def test_cycle_detected(self):
+        with pytest.raises(CycleError):
+            topological_order(range(2), [(0, 1, 1.0), (1, 0, 1.0)])
+
+    def test_self_loop_detected(self):
+        with pytest.raises(CycleError):
+            topological_order(range(1), [(0, 0, 1.0)])
+
+    @given(st.integers(min_value=1, max_value=15), st.data())
+    def test_order_respects_random_dag(self, n, data):
+        edges = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if data.draw(st.booleans()):
+                    edges.append((u, v, 1.0))
+        order = topological_order(range(n), edges)
+        pos = {v: i for i, v in enumerate(order)}
+        assert all(pos[u] < pos[v] for u, v, _ in edges)
+        assert sorted(order) == list(range(n))
+
+
+class TestLongestPath:
+    def test_diamond(self):
+        edges = [(0, 1, 2.0), (0, 2, 5.0), (1, 3, 4.0), (2, 3, 1.0)]
+        dist = longest_path_lengths(range(4), edges, sources=[0])
+        assert dist[3] == 6.0  # through 0 -> 2 ... no: 0->1->3 = 6
+
+    def test_unreachable_absent(self):
+        dist = longest_path_lengths(range(3), [(0, 1, 1.0)], sources=[0])
+        assert 2 not in dist
+
+    def test_multiple_sources(self):
+        edges = [(0, 2, 1.0), (1, 2, 10.0)]
+        dist = longest_path_lengths(range(3), edges, sources=[0, 1])
+        assert dist[2] == 10.0
+
+    def test_weighted_edges(self):
+        # The track-assignment use case: unit edges except a heavy
+        # source->dummy edge modelling the stitch unfriendly width.
+        edges = [("s", "d", 3.0), ("d", "a", 1.0), ("s", "a", 1.0)]
+        dist = longest_path_lengths(["s", "d", "a"], edges, sources=["s"])
+        assert dist["a"] == 4.0
+
+    @given(st.integers(min_value=2, max_value=10), st.data())
+    def test_longest_path_is_upper_bound_of_any_path(self, n, data):
+        edges = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if data.draw(st.booleans()):
+                    w = data.draw(st.integers(min_value=0, max_value=5))
+                    edges.append((u, v, float(w)))
+        dist = longest_path_lengths(range(n), edges, sources=[0])
+        # Every edge relaxation is tight or slack, never violated.
+        for u, v, w in edges:
+            if u in dist:
+                assert dist[v] >= dist[u] + w - 1e-9

@@ -1,0 +1,117 @@
+"""Tests for Carlisle–Lloyd max-weight k-colorable interval subsets."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    greedy_interval_coloring,
+    is_k_colorable,
+    max_weight_k_colorable,
+)
+from repro.geometry import Interval, max_overlap_density
+
+
+def brute_force_best_weight(intervals, weights, k):
+    best = 0.0
+    for r in range(len(intervals) + 1):
+        for subset in itertools.combinations(range(len(intervals)), r):
+            chosen = [intervals[i] for i in subset]
+            if max_overlap_density(chosen) <= k:
+                best = max(best, sum(weights[i] for i in subset))
+    return best
+
+
+def interval_case():
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=12),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=9),
+        ),
+        min_size=0,
+        max_size=8,
+    ).map(
+        lambda items: (
+            [Interval(lo, lo + span) for lo, span, _ in items],
+            [float(w) for _, _, w in items],
+        )
+    )
+
+
+class TestMaxWeightKColorable:
+    def test_empty(self):
+        selected, colors = max_weight_k_colorable([], [], 2)
+        assert selected == [] and colors == {}
+
+    def test_disjoint_all_selected(self):
+        ivs = [Interval(0, 1), Interval(3, 4), Interval(6, 7)]
+        selected, colors = max_weight_k_colorable(ivs, [1.0, 1.0, 1.0], 1)
+        assert selected == [0, 1, 2]
+        assert set(colors.values()) == {0}
+
+    def test_overlapping_pair_k1_picks_heavier(self):
+        ivs = [Interval(0, 5), Interval(3, 8)]
+        selected, _ = max_weight_k_colorable(ivs, [2.0, 7.0], 1)
+        assert selected == [1]
+
+    def test_endpoint_touch_counts_as_overlap(self):
+        ivs = [Interval(0, 3), Interval(3, 6)]
+        selected, _ = max_weight_k_colorable(ivs, [1.0, 1.0], 1)
+        assert len(selected) == 1
+
+    def test_k2_takes_both(self):
+        ivs = [Interval(0, 5), Interval(3, 8)]
+        selected, colors = max_weight_k_colorable(ivs, [2.0, 7.0], 2)
+        assert selected == [0, 1]
+        assert colors[0] != colors[1]
+
+    def test_heavier_duplicate_wins(self):
+        ivs = [Interval(0, 5), Interval(0, 5)]
+        selected, _ = max_weight_k_colorable(ivs, [0.0, 3.0], 1)
+        assert 1 in selected
+        assert len(selected) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(interval_case(), st.integers(min_value=1, max_value=3))
+    def test_optimal_weight(self, case, k):
+        intervals, weights = case
+        selected, colors = max_weight_k_colorable(intervals, weights, k)
+        got = sum(weights[i] for i in selected)
+        assert abs(got - brute_force_best_weight(intervals, weights, k)) < 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(interval_case(), st.integers(min_value=1, max_value=3))
+    def test_coloring_is_proper(self, case, k):
+        intervals, weights = case
+        selected, colors = max_weight_k_colorable(intervals, weights, k)
+        assert sorted(colors) == sorted(selected)
+        for i, j in itertools.combinations(selected, 2):
+            if intervals[i].overlaps(intervals[j]):
+                assert colors[i] != colors[j]
+        assert all(0 <= c < k for c in colors.values())
+
+
+class TestIsKColorable:
+    def test_density_bound(self):
+        ivs = [Interval(0, 4), Interval(1, 5), Interval(2, 6)]
+        assert not is_k_colorable(ivs, 2)
+        assert is_k_colorable(ivs, 3)
+
+
+class TestGreedyColoring:
+    def test_uses_minimum_colors(self):
+        ivs = [Interval(0, 4), Interval(1, 5), Interval(2, 6), Interval(7, 9)]
+        colors = greedy_interval_coloring(ivs)
+        assert len(set(colors.values())) == max_overlap_density(ivs) == 3
+
+    @given(interval_case())
+    def test_proper_and_optimal(self, case):
+        intervals, _ = case
+        colors = greedy_interval_coloring(intervals)
+        for i, j in itertools.combinations(range(len(intervals)), 2):
+            if intervals[i].overlaps(intervals[j]):
+                assert colors[i] != colors[j]
+        if intervals:
+            assert len(set(colors.values())) == max_overlap_density(intervals)

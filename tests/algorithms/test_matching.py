@@ -1,0 +1,70 @@
+"""Tests for the Hungarian assignment solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import hungarian, matching_cost
+
+
+def brute_force_best(cost):
+    n = len(cost)
+    return min(
+        sum(cost[i][perm[i]] for i in range(n))
+        for perm in itertools.permutations(range(n))
+    )
+
+
+class TestHungarian:
+    def test_empty(self):
+        assert hungarian([]) == []
+
+    def test_identity_cheapest(self):
+        cost = [
+            [0.0, 9.0, 9.0],
+            [9.0, 0.0, 9.0],
+            [9.0, 9.0, 0.0],
+        ]
+        assignment = hungarian(cost)
+        assert assignment == [0, 1, 2]
+        assert matching_cost(cost, assignment) == 0.0
+
+    def test_forced_swap(self):
+        cost = [[10.0, 1.0], [1.0, 10.0]]
+        assert hungarian(cost) == [1, 0]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian([[1.0, 2.0]])
+
+    def test_assignment_is_permutation(self):
+        cost = [[float((i * 3 + j) % 7) for j in range(5)] for i in range(5)]
+        assignment = hungarian(cost)
+        assert sorted(assignment) == list(range(5))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda n: st.lists(
+                st.lists(
+                    st.floats(0, 100, allow_nan=False, allow_infinity=False),
+                    min_size=n,
+                    max_size=n,
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    def test_matches_brute_force(self, cost):
+        assignment = hungarian(cost)
+        assert sorted(assignment) == list(range(len(cost)))
+        got = matching_cost(cost, assignment)
+        assert got <= brute_force_best(cost) + 1e-6
+
+    def test_negative_costs_supported(self):
+        cost = [[-5.0, 0.0], [0.0, -5.0]]
+        assignment = hungarian(cost)
+        assert matching_cost(cost, assignment) == -10.0

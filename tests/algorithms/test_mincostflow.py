@@ -1,0 +1,133 @@
+"""Tests for the successive-shortest-path min-cost max-flow solver."""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import MinCostFlow
+
+
+class TestBasics:
+    def test_single_edge(self):
+        net = MinCostFlow()
+        net.add_edge("s", "t", capacity=3, cost=2.0)
+        flow, cost = net.min_cost_flow("s", "t")
+        assert flow == 3
+        assert cost == 6.0
+
+    def test_prefers_cheap_path(self):
+        net = MinCostFlow()
+        cheap = net.add_edge("s", "t", capacity=1, cost=1.0)
+        pricey = net.add_edge("s", "t", capacity=1, cost=5.0)
+        flow, cost = net.min_cost_flow("s", "t", max_flow=1)
+        assert (flow, cost) == (1, 1.0)
+        assert net.flow_on(cheap) == 1
+        assert net.flow_on(pricey) == 0
+
+    def test_max_flow_cap_respected(self):
+        net = MinCostFlow()
+        net.add_edge("s", "t", capacity=10, cost=1.0)
+        flow, _ = net.min_cost_flow("s", "t", max_flow=4)
+        assert flow == 4
+
+    def test_disconnected(self):
+        net = MinCostFlow()
+        net.node("s")
+        net.node("t")
+        flow, cost = net.min_cost_flow("s", "t")
+        assert (flow, cost) == (0, 0.0)
+
+    def test_negative_cost_edges(self):
+        net = MinCostFlow()
+        e1 = net.add_edge("s", "a", capacity=1, cost=-5.0)
+        net.add_edge("a", "t", capacity=1, cost=1.0)
+        net.add_edge("s", "t", capacity=1, cost=0.0)
+        flow, cost = net.min_cost_flow("s", "t", max_flow=2)
+        assert flow == 2
+        assert cost == -4.0
+        assert net.flow_on(e1) == 1
+
+    def test_negative_capacity_rejected(self):
+        net = MinCostFlow()
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", capacity=-1, cost=0.0)
+
+    def test_bottleneck_through_middle(self):
+        net = MinCostFlow()
+        net.add_edge("s", "m", capacity=5, cost=1.0)
+        net.add_edge("m", "t", capacity=2, cost=1.0)
+        flow, cost = net.min_cost_flow("s", "t")
+        assert (flow, cost) == (2, 4.0)
+
+
+def random_graph_cases():
+    return st.tuples(
+        st.integers(min_value=2, max_value=6),
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.integers(0, 5),
+                st.integers(0, 4),
+                st.integers(0, 9),
+            ),
+            max_size=12,
+        ),
+    )
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graph_cases())
+    def test_min_cost_matches_networkx(self, case):
+        n, raw_edges = case
+        edges = [
+            (u % n, v % n, cap, cost)
+            for u, v, cap, cost in raw_edges
+            if u % n != v % n
+        ]
+        ours = MinCostFlow()
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for u, v, cap, cost in edges:
+            ours.add_edge(u, v, capacity=cap, cost=float(cost))
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += cap
+            else:
+                g.add_edge(u, v, capacity=cap, weight=cost)
+        # networkx max_flow_min_cost requires consistent parallel edges;
+        # merging capacities is only valid when costs match, so rebuild
+        # with a MultiDiGraph-free approach: skip cases with parallel
+        # edges of differing costs.
+        seen = {}
+        ok = True
+        for u, v, cap, cost in edges:
+            if (u, v) in seen and seen[(u, v)] != cost:
+                ok = False
+            seen[(u, v)] = cost
+        if not ok:
+            return
+        source, sink = 0, n - 1
+        flow_value, flow_cost = ours.min_cost_flow(source, sink)
+        mincostflow = nx.max_flow_min_cost(g, source, sink)
+        expected_flow = sum(mincostflow[source].values()) - sum(
+            flows.get(source, 0) for flows in mincostflow.values()
+        )
+        expected_cost = nx.cost_of_flow(g, mincostflow)
+        assert flow_value == expected_flow
+        assert abs(flow_cost - expected_cost) < 1e-6
+
+
+class TestFlowConservation:
+    def test_flow_on_reports_per_edge(self):
+        net = MinCostFlow()
+        a = net.add_edge("s", "a", 2, 1.0)
+        b = net.add_edge("s", "b", 2, 1.0)
+        net.add_edge("a", "t", 1, 0.0)
+        net.add_edge("b", "t", 1, 0.0)
+        flow, _ = net.min_cost_flow("s", "t")
+        assert flow == 2
+        assert net.flow_on(a) == 1
+        assert net.flow_on(b) == 1

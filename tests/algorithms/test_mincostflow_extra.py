@@ -1,0 +1,62 @@
+"""Additional min-cost flow scenarios exercised by the layer assigner."""
+
+import pytest
+
+from repro.algorithms import MinCostFlow
+
+
+class TestCarlisleLloydShapes:
+    """Networks shaped like the interval-selection reduction."""
+
+    def build_spine(self, coords, k):
+        net = MinCostFlow()
+        for a, b in zip(coords, coords[1:]):
+            net.add_edge(("x", a), ("x", b), capacity=k, cost=0.0)
+        return net
+
+    def test_spine_always_carries_k(self):
+        net = self.build_spine([0, 1, 2, 3], k=3)
+        flow, cost = net.min_cost_flow(("x", 0), ("x", 3), max_flow=3)
+        assert flow == 3
+        assert cost == 0.0
+
+    def test_profitable_bypass_taken(self):
+        net = self.build_spine([0, 1, 2, 3], k=2)
+        bypass = net.add_edge(("x", 0), ("x", 2), capacity=1, cost=-7.0)
+        flow, cost = net.min_cost_flow(("x", 0), ("x", 3), max_flow=2)
+        assert flow == 2
+        assert cost == -7.0
+        assert net.flow_on(bypass) == 1
+
+    def test_conflicting_bypasses_capacity_limited(self):
+        # Two overlapping "intervals" both want the same unit of spine
+        # headroom (k=1): only the heavier one fits.
+        net = self.build_spine([0, 1, 2, 3], k=1)
+        light = net.add_edge(("x", 0), ("x", 2), capacity=1, cost=-3.0)
+        heavy = net.add_edge(("x", 1), ("x", 3), capacity=1, cost=-8.0)
+        flow, cost = net.min_cost_flow(("x", 0), ("x", 3), max_flow=1)
+        assert flow == 1
+        assert cost == -8.0
+        assert net.flow_on(heavy) == 1
+        assert net.flow_on(light) == 0
+
+    def test_disjoint_bypasses_share_one_unit(self):
+        net = self.build_spine([0, 1, 2, 3, 4], k=1)
+        first = net.add_edge(("x", 0), ("x", 2), capacity=1, cost=-3.0)
+        second = net.add_edge(("x", 2), ("x", 4), capacity=1, cost=-5.0)
+        flow, cost = net.min_cost_flow(("x", 0), ("x", 4), max_flow=1)
+        assert flow == 1
+        assert cost == -8.0
+        assert net.flow_on(first) == 1 and net.flow_on(second) == 1
+
+    def test_fractional_free_reuse(self):
+        """Residual edges let a later unit re-route an earlier one."""
+        net = MinCostFlow()
+        net.add_edge("s", "a", 1, 1.0)
+        net.add_edge("s", "b", 1, 5.0)
+        net.add_edge("a", "t", 1, 1.0)
+        net.add_edge("b", "t", 1, 1.0)
+        net.add_edge("a", "b", 1, 0.0)
+        flow, cost = net.min_cost_flow("s", "t")
+        assert flow == 2
+        assert cost == pytest.approx(8.0)

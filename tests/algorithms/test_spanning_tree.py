@@ -1,0 +1,109 @@
+"""Tests for maximum spanning forests and depth-based tree coloring."""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    DisjointSet,
+    color_forest_by_depth,
+    coloring_cost,
+    maximum_spanning_forest,
+)
+
+
+def brute_force_max_spanning_weight(vertices, edges):
+    """Max total weight over all spanning forests (tiny graphs only)."""
+    best = 0.0
+    for r in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, r):
+            ds = DisjointSet(vertices)
+            acyclic = all(ds.union(u, v) for u, v, _ in subset)
+            if acyclic:
+                best = max(best, sum(w for _, _, w in subset))
+    return best
+
+
+class TestMaximumSpanningForest:
+    def test_triangle_drops_lightest(self):
+        edges = [("a", "b", 3.0), ("b", "c", 2.0), ("a", "c", 1.0)]
+        forest = maximum_spanning_forest(["a", "b", "c"], edges)
+        assert sorted(w for _, _, w in forest) == [2.0, 3.0]
+
+    def test_disconnected_components(self):
+        edges = [("a", "b", 1.0), ("c", "d", 2.0)]
+        forest = maximum_spanning_forest("abcd", edges)
+        assert len(forest) == 2
+
+    def test_empty_graph(self):
+        assert maximum_spanning_forest(["a"], []) == []
+
+    @given(
+        st.integers(min_value=2, max_value=6).flatmap(
+            lambda n: st.lists(
+                st.tuples(
+                    st.integers(0, n - 1),
+                    st.integers(0, n - 1),
+                    st.floats(0, 10, allow_nan=False),
+                ),
+                max_size=8,
+            ).map(lambda es: (n, [(u, v, w) for u, v, w in es if u != v]))
+        )
+    )
+    def test_weight_matches_brute_force(self, case):
+        n, edges = case
+        vertices = list(range(n))
+        forest = maximum_spanning_forest(vertices, edges)
+        got = sum(w for _, _, w in forest)
+        assert abs(got - brute_force_max_spanning_weight(vertices, edges)) < 1e-9
+
+    def test_forest_is_acyclic_and_spanning(self):
+        edges = [
+            (u, v, float((u * 7 + v) % 5))
+            for u in range(6)
+            for v in range(u + 1, 6)
+        ]
+        forest = maximum_spanning_forest(range(6), edges)
+        ds = DisjointSet(range(6))
+        for u, v, _ in forest:
+            assert ds.union(u, v), "forest must be acyclic"
+        assert ds.num_sets == 1
+
+
+class TestColorForestByDepth:
+    def test_path_alternates(self):
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]
+        colors = color_forest_by_depth(range(4), edges, 2)
+        assert colors[0] != colors[1]
+        assert colors[1] != colors[2]
+        assert colors[2] != colors[3]
+
+    def test_tree_edges_always_bichromatic(self):
+        edges = [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (1, 4, 1.0)]
+        for k in (2, 3, 4):
+            colors = color_forest_by_depth(range(5), edges, k)
+            for u, v, _ in edges:
+                assert colors[u] != colors[v]
+            assert set(colors.values()) <= set(range(k))
+
+    def test_isolated_vertices_colored(self):
+        colors = color_forest_by_depth(range(3), [], 2)
+        assert set(colors) == {0, 1, 2}
+
+    def test_k_one_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            color_forest_by_depth(range(2), [(0, 1, 1.0)], 1)
+
+
+class TestColoringCost:
+    def test_counts_monochromatic_weight(self):
+        edges = [(0, 1, 5.0), (1, 2, 3.0)]
+        colors = {0: 0, 1: 0, 2: 1}
+        assert coloring_cost(edges, colors) == 5.0
+
+    def test_zero_when_proper(self):
+        edges = [(0, 1, 5.0)]
+        assert coloring_cost(edges, {0: 0, 1: 1}) == 0.0

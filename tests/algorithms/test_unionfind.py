@@ -1,0 +1,68 @@
+"""Tests for the disjoint-set structure."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import DisjointSet
+
+
+class TestDisjointSet:
+    def test_initial_singletons(self):
+        ds = DisjointSet(range(5))
+        assert ds.num_sets == 5
+        assert len(ds) == 5
+        assert not ds.connected(0, 1)
+
+    def test_union_merges(self):
+        ds = DisjointSet(range(4))
+        assert ds.union(0, 1)
+        assert ds.connected(0, 1)
+        assert ds.num_sets == 3
+
+    def test_union_idempotent(self):
+        ds = DisjointSet(range(3))
+        ds.union(0, 1)
+        assert not ds.union(1, 0)
+        assert ds.num_sets == 2
+
+    def test_transitivity(self):
+        ds = DisjointSet(range(4))
+        ds.union(0, 1)
+        ds.union(1, 2)
+        assert ds.connected(0, 2)
+        assert not ds.connected(0, 3)
+
+    def test_lazy_add_on_find(self):
+        ds = DisjointSet()
+        assert ds.find("a") == "a"
+        assert len(ds) == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_naive_partition(self, unions):
+        ds = DisjointSet(range(10))
+        groups = [{i} for i in range(10)]
+
+        def group_of(x):
+            for g in groups:
+                if x in g:
+                    return g
+            raise AssertionError
+
+        for a, b in unions:
+            ds.union(a, b)
+            ga, gb = group_of(a), group_of(b)
+            if ga is not gb:
+                ga |= gb
+                groups.remove(gb)
+        assert ds.num_sets == len(groups)
+        for a in range(10):
+            for b in range(10):
+                assert ds.connected(a, b) == (group_of(a) is group_of(b))

@@ -1,0 +1,74 @@
+"""Targeted cases where the flow-based coloring beats the MST heuristic.
+
+Reproduces the Fig. 9 situation: with more than two colors available,
+the maximum-spanning-tree coloring wastes colors (it only guarantees
+tree edges are bichromatic), while iterated max-weight k-colorable
+extraction uses the full palette.
+"""
+
+import pytest
+
+from repro.algorithms import coloring_cost
+from repro.assign import (
+    Panel,
+    PanelKind,
+    PanelSegment,
+    build_conflict_graph,
+    flow_kcoloring,
+    mst_kcoloring,
+)
+from repro.geometry import Interval
+
+
+def panel_from_spans(spans):
+    return Panel(
+        kind=PanelKind.COLUMN,
+        position=0,
+        segments=[
+            PanelSegment(net=f"n{i}", index=i, span=Interval(*s))
+            for i, s in enumerate(spans)
+        ],
+    )
+
+
+class TestFig9Style:
+    def test_three_mutually_overlapping_segments(self):
+        """A triangle needs 3 colors; MST by depth uses only 2 of 3."""
+        panel = panel_from_spans([(0, 6), (1, 7), (2, 8)])
+        vertices, edges = build_conflict_graph(panel)
+        spans = {s.index: s.span for s in panel.segments}
+        flow_cost = coloring_cost(edges, flow_kcoloring(vertices, spans, edges, 3))
+        mst_cost = coloring_cost(edges, mst_kcoloring(vertices, edges, 3))
+        # A triangle is 3-colorable: the flow solution is perfect.
+        assert flow_cost == 0.0
+        # The spanning tree of a triangle is a path; depth-mod-3
+        # coloring happens to 3-color a 3-path perfectly too, so only
+        # assert not-worse here; the clique test below separates them.
+        assert flow_cost <= mst_cost
+
+    def test_k4_clique_with_four_colors(self):
+        """A 4-clique colored with 4 colors: flow perfect, MST not.
+
+        The maximum spanning tree of a clique is a star or path;
+        depth-based coloring reuses colors at equal depths, leaving
+        monochromatic clique edges.
+        """
+        panel = panel_from_spans([(0, 9), (1, 9), (2, 9), (3, 9)])
+        vertices, edges = build_conflict_graph(panel)
+        spans = {s.index: s.span for s in panel.segments}
+        flow_cost = coloring_cost(edges, flow_kcoloring(vertices, spans, edges, 4))
+        mst_cost = coloring_cost(edges, mst_kcoloring(vertices, edges, 4))
+        assert flow_cost == 0.0
+        assert mst_cost > 0.0
+
+    def test_flow_never_worse_on_dense_panels(self):
+        spans = [(i % 4, (i % 4) + 5) for i in range(10)]
+        panel = panel_from_spans(spans)
+        vertices, edges = build_conflict_graph(panel)
+        span_map = {s.index: s.span for s in panel.segments}
+        for k in (3, 4, 5):
+            flow_cost = coloring_cost(
+                edges, flow_kcoloring(vertices, span_map, edges, k)
+            )
+            mst_cost = coloring_cost(edges, mst_kcoloring(vertices, edges, k))
+            assert flow_cost <= mst_cost

@@ -1,0 +1,191 @@
+"""Tests for conflict graphs and the two layer-assignment heuristics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import coloring_cost
+from repro.assign import (
+    ColoringMethod,
+    Panel,
+    PanelKind,
+    PanelSegment,
+    assign_layers,
+    assign_panel,
+    build_conflict_graph,
+    flow_kcoloring,
+    instance_suite,
+    mst_kcoloring,
+    order_groups_for_vias,
+    random_instance,
+    suite_stats,
+    vertex_weights,
+)
+from repro.geometry import Interval
+from repro.layout import Technology
+
+
+def panel_from_spans(spans, kind=PanelKind.COLUMN, nets=None):
+    segments = [
+        PanelSegment(
+            net=(nets[i] if nets else f"n{i}"), index=i, span=Interval(*s)
+        )
+        for i, s in enumerate(spans)
+    ]
+    return Panel(kind=kind, position=0, segments=segments)
+
+
+class TestConflictGraph:
+    def test_no_overlap_no_edges(self):
+        panel = panel_from_spans([(0, 1), (3, 4)])
+        vertices, edges = build_conflict_graph(panel)
+        assert vertices == [0, 1]
+        assert edges == []
+
+    def test_edge_weight_includes_density(self):
+        # Three segments overlapping at tile 2 -> D_segment = 3.
+        panel = panel_from_spans([(0, 2), (2, 4), (2, 6)])
+        _, edges = build_conflict_graph(panel)
+        weights = {(u, v): w for u, v, w in edges}
+        # Segments 1 and 2 share a low line end at tile 2 (density 2 at
+        # tile 2: ends of 1 and 2; segment 0's high end is also there).
+        assert (0, 1) in weights and (0, 2) in weights and (1, 2) in weights
+
+    def test_line_end_term_only_for_shared_end_rows(self):
+        # Segments 0 and 1 overlap but no shared line-end row.
+        panel = panel_from_spans([(0, 4), (2, 6)])
+        _, edges = build_conflict_graph(panel)
+        ((u, v, w),) = edges
+        # D_segment = 2 (both cover tiles 2..4), no shared end -> w = 2.
+        assert w == 2.0
+
+    def test_line_end_term_added_on_shared_ends(self):
+        # Both segments end at tile 4.
+        panel = panel_from_spans([(0, 4), (4, 8), (2, 4)])
+        _, edges = build_conflict_graph(panel)
+        weights = {(u, v): w for u, v, w in edges}
+        # Segments 0 and 2 share end row 4 where three line ends meet
+        # (high ends of 0 and 2, low end of 1): D_end = 3.
+        assert weights[(0, 2)] == 3.0 + 3.0
+
+    def test_row_panels_skip_line_end_term(self):
+        col = panel_from_spans([(0, 4), (2, 4)], kind=PanelKind.COLUMN)
+        row = panel_from_spans([(0, 4), (2, 4)], kind=PanelKind.ROW)
+        _, col_edges = build_conflict_graph(col)
+        _, row_edges = build_conflict_graph(row)
+        assert col_edges[0][2] > row_edges[0][2]
+
+    def test_vertex_weights(self):
+        vertices = [0, 1, 2]
+        edges = [(0, 1, 2.0), (1, 2, 3.0)]
+        weights = vertex_weights(vertices, edges)
+        assert weights == {0: 2.0, 1: 5.0, 2: 3.0}
+
+
+class TestColoringHeuristics:
+    def proper(self, panel, colors):
+        for a, b in itertools.combinations(range(len(panel.segments)), 2):
+            sa, sb = panel.segments[a], panel.segments[b]
+            if sa.span.overlaps(sb.span):
+                if colors[sa.index] == colors[sb.index]:
+                    return False
+        return True
+
+    def test_flow_coloring_proper_when_density_fits(self):
+        panel = panel_from_spans([(0, 3), (1, 4), (5, 8)])
+        vertices, edges = build_conflict_graph(panel)
+        spans = {s.index: s.span for s in panel.segments}
+        colors = flow_kcoloring(vertices, spans, edges, 2)
+        assert self.proper(panel, colors)
+        assert set(colors) == {0, 1, 2}
+
+    def test_flow_coloring_all_vertices_colored(self):
+        panel = random_instance(3)
+        vertices, edges = build_conflict_graph(panel)
+        spans = {s.index: s.span for s in panel.segments}
+        for k in (2, 3, 5):
+            colors = flow_kcoloring(vertices, spans, edges, k)
+            assert set(colors) == set(vertices)
+            assert all(0 <= c < k for c in colors.values())
+
+    def test_mst_coloring_all_vertices_colored(self):
+        panel = random_instance(4)
+        vertices, edges = build_conflict_graph(panel)
+        colors = mst_kcoloring(vertices, edges, 3)
+        assert set(colors) == set(vertices)
+
+    def test_flow_beats_mst_on_average(self):
+        """The Table VI claim: ours wins, and more so for larger k."""
+        suite = instance_suite(count=12)
+        improvements = {}
+        for k in (2, 5):
+            mst_total = flow_total = 0.0
+            for panel in suite:
+                vertices, edges = build_conflict_graph(panel)
+                spans = {s.index: s.span for s in panel.segments}
+                mst_total += coloring_cost(edges, mst_kcoloring(vertices, edges, k))
+                flow_total += coloring_cost(
+                    edges, flow_kcoloring(vertices, spans, edges, k)
+                )
+            assert flow_total < mst_total
+            improvements[k] = 1 - flow_total / mst_total
+        assert improvements[5] > improvements[2]
+
+    def test_empty_graph(self):
+        colors = flow_kcoloring([], {}, [], 3)
+        assert colors == {}
+
+
+class TestAssignPanel:
+    def test_layers_mapped(self):
+        panel = panel_from_spans([(0, 3), (1, 4), (5, 8)])
+        pa = assign_panel(panel, 2, ColoringMethod.FLOW, layers=[2, 4])
+        assert set(pa.layer_of_segment.values()) <= {2, 4}
+        assert len(pa.layer_of_segment) == 3
+
+    def test_single_layer(self):
+        panel = panel_from_spans([(0, 3), (5, 8)])
+        pa = assign_panel(panel, 1, layers=[2])
+        assert set(pa.layer_of_segment.values()) == {2}
+
+    def test_bad_layers_length(self):
+        panel = panel_from_spans([(0, 3)])
+        with pytest.raises(ValueError):
+            assign_panel(panel, 2, layers=[1])
+
+    def test_order_groups_for_vias_prefers_shared_nets(self):
+        # Segments of net x in colors 0 and 2 -> those groups adjacent.
+        panel = panel_from_spans(
+            [(0, 3), (0, 3), (0, 3)], nets=["x", "y", "x"]
+        )
+        colors = {0: 0, 1: 1, 2: 2}
+        order = order_groups_for_vias(panel, colors, 3)
+        assert abs(order.index(0) - order.index(2)) == 1
+
+    def test_assign_layers_covers_all_panels(self):
+        columns = {0: panel_from_spans([(0, 3), (1, 4)])}
+        rows = {0: panel_from_spans([(0, 3)], kind=PanelKind.ROW)}
+        tech = Technology(3)
+        result = assign_layers(columns, rows, tech)
+        assert set(result.columns[0].layer_of_segment.values()) <= {2}
+        assert set(result.rows[0].layer_of_segment.values()) <= {1, 3}
+        assert result.total_cost >= 0
+
+
+class TestInstances:
+    def test_suite_deterministic(self):
+        s1 = instance_suite(count=5)
+        s2 = instance_suite(count=5)
+        assert [
+            [seg.span for seg in p.segments] for p in s1
+        ] == [[seg.span for seg in p.segments] for p in s2]
+
+    def test_suite_stats_near_table5(self):
+        stats = suite_stats(instance_suite())
+        assert stats.count == 50
+        assert 8 <= stats.max_segment_density <= 14
+        assert 4 <= stats.avg_segment_density <= 8
+        assert 4 <= stats.max_line_end_density <= 8
+        assert 1.5 <= stats.avg_line_end_density <= 3.5

@@ -1,0 +1,47 @@
+"""Focused tests for the via-minimizing group ordering."""
+
+import pytest
+
+from repro.assign import Panel, PanelKind, PanelSegment, order_groups_for_vias
+from repro.geometry import Interval
+
+
+def panel_with_nets(net_names):
+    segments = [
+        PanelSegment(net=name, index=i, span=Interval(0, 3))
+        for i, name in enumerate(net_names)
+    ]
+    return Panel(kind=PanelKind.COLUMN, position=0, segments=segments)
+
+
+class TestOrderGroups:
+    def test_returns_permutation(self):
+        panel = panel_with_nets(["a", "b", "c", "d"])
+        colors = {0: 0, 1: 1, 2: 2, 3: 3}
+        order = order_groups_for_vias(panel, colors, 4)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_single_group(self):
+        panel = panel_with_nets(["a"])
+        assert order_groups_for_vias(panel, {0: 0}, 1) == [0]
+
+    def test_shared_net_groups_adjacent(self):
+        # Net "x" in groups 0 and 3; net "y" in groups 1 and 2.
+        panel = panel_with_nets(["x", "y", "y", "x"])
+        colors = {0: 0, 1: 1, 2: 2, 3: 3}
+        order = order_groups_for_vias(panel, colors, 4)
+        assert abs(order.index(0) - order.index(3)) == 1
+        assert abs(order.index(1) - order.index(2)) == 1
+
+    def test_no_affinity_still_valid(self):
+        panel = panel_with_nets(["a", "b", "c"])
+        colors = {0: 0, 1: 1, 2: 2}
+        order = order_groups_for_vias(panel, colors, 3)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_deterministic(self):
+        panel = panel_with_nets(["x", "y", "y", "x", "z"])
+        colors = {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        o1 = order_groups_for_vias(panel, colors, 5)
+        o2 = order_groups_for_vias(panel, colors, 5)
+        assert o1 == o2

@@ -1,0 +1,118 @@
+"""Tests for panel extraction and segment decomposition."""
+
+import pytest
+
+from repro.assign import Panel, PanelKind, PanelSegment, extract_panels, runs_of_path
+from repro.geometry import Interval
+from repro.globalroute import GlobalRouter
+from tests.globalroute.test_router import design_with_nets, two_pin
+
+
+class TestRunsOfPath:
+    def test_empty_and_single(self):
+        assert runs_of_path([]) == []
+        assert runs_of_path([(0, 0)]) == []
+
+    def test_horizontal_run(self):
+        assert runs_of_path([(0, 2), (1, 2), (2, 2)]) == [
+            ("h", 2, Interval(0, 2))
+        ]
+
+    def test_vertical_run(self):
+        assert runs_of_path([(1, 0), (1, 1), (1, 2)]) == [
+            ("v", 1, Interval(0, 2))
+        ]
+
+    def test_l_shape_shares_corner(self):
+        runs = runs_of_path([(0, 0), (1, 0), (1, 1)])
+        assert runs == [("h", 0, Interval(0, 1)), ("v", 1, Interval(0, 1))]
+
+    def test_descending_path_normalized(self):
+        runs = runs_of_path([(1, 5), (1, 4), (1, 3)])
+        assert runs == [("v", 1, Interval(3, 5))]
+
+    def test_staircase(self):
+        path = [(0, 0), (0, 1), (1, 1), (1, 2)]
+        runs = runs_of_path(path)
+        assert runs == [
+            ("v", 0, Interval(0, 1)),
+            ("h", 1, Interval(0, 1)),
+            ("v", 1, Interval(1, 2)),
+        ]
+
+
+class TestPanelSegment:
+    def test_line_end_rows_both(self):
+        seg = PanelSegment(net="n", index=0, span=Interval(2, 6))
+        assert seg.line_end_rows == (2, 6)
+        assert seg.length == 5
+
+    def test_line_end_rows_partial(self):
+        seg = PanelSegment(
+            net="n", index=0, span=Interval(2, 6), has_high_end=False
+        )
+        assert seg.line_end_rows == (2,)
+
+
+class TestPanelDensities:
+    def make_panel(self):
+        return Panel(
+            kind=PanelKind.COLUMN,
+            position=0,
+            segments=[
+                PanelSegment(net="a", index=0, span=Interval(0, 4)),
+                PanelSegment(net="b", index=1, span=Interval(2, 6)),
+                PanelSegment(net="c", index=2, span=Interval(4, 8)),
+            ],
+        )
+
+    def test_segment_density(self):
+        panel = self.make_panel()
+        density = panel.segment_density()
+        assert density[4] == 3
+        assert density[0] == 1
+        assert panel.max_segment_density() == 3
+
+    def test_line_end_density(self):
+        panel = self.make_panel()
+        density = panel.line_end_density()
+        assert density[4] == 2  # high end of a, low end of c
+        assert density[2] == 1
+        assert panel.max_line_end_density() == 2
+
+    def test_empty_panel(self):
+        panel = Panel(kind=PanelKind.ROW, position=1, segments=[])
+        assert panel.max_segment_density() == 0
+        assert panel.max_line_end_density() == 0
+
+
+class TestExtractPanels:
+    def test_segments_cover_all_runs(self):
+        nets = [two_pin("a", (1, 1), (55, 40)), two_pin("b", (40, 2), (2, 41))]
+        result = GlobalRouter().route(design_with_nets(nets))
+        columns, rows = extract_panels(result)
+        total_segments = sum(len(p) for p in columns.values()) + sum(
+            len(p) for p in rows.values()
+        )
+        expected = sum(
+            len(runs_of_path(path))
+            for route in result.routes.values()
+            for path in route.paths
+        )
+        assert total_segments == expected
+
+    def test_panel_positions_match_graph(self):
+        nets = [two_pin("a", (1, 1), (55, 40))]
+        result = GlobalRouter().route(design_with_nets(nets))
+        columns, rows = extract_panels(result)
+        assert set(columns) == set(range(result.graph.nx))
+        assert set(rows) == set(range(result.graph.ny))
+
+    def test_vertical_runs_in_column_panels(self):
+        nets = [two_pin("a", (5, 1), (5, 40))]  # straight vertical net
+        result = GlobalRouter().route(design_with_nets(nets))
+        columns, rows = extract_panels(result)
+        column_segments = [s for p in columns.values() for s in p.segments]
+        assert len(column_segments) == 1
+        assert column_segments[0].net == "a"
+        assert all(len(p.segments) == 0 for p in rows.values())

@@ -1,0 +1,232 @@
+"""Tests for the three track assignment algorithms and the driver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import (
+    ColoringMethod,
+    Panel,
+    PanelKind,
+    PanelSegment,
+    TrackMethod,
+    assign_layers,
+    assign_tracks,
+    assign_tracks_baseline,
+    assign_tracks_graph,
+    assign_tracks_ilp,
+    extract_panels,
+    validate_assignment,
+)
+from repro.geometry import Interval
+from repro.layout import StitchingLines
+from repro.globalroute import GlobalRouter
+
+LINES = StitchingLines((15, 30), epsilon=1, escape_width=4)
+PANEL_XS = list(range(15, 30))  # one tile column [15, 29]
+
+
+def make_panel(spans, nets=None):
+    segments = [
+        PanelSegment(
+            net=(nets[i] if nets else f"n{i}"), index=i, span=Interval(*s)
+        )
+        for i, s in enumerate(spans)
+    ]
+    return Panel(kind=PanelKind.COLUMN, position=1, segments=segments)
+
+
+def random_panel(rng, num_segments, num_rows=8):
+    spans = []
+    for _ in range(num_segments):
+        length = rng.randint(1, max(1, num_rows // 2))
+        lo = rng.randint(0, num_rows - length)
+        spans.append((lo, lo + length - 1))
+    return make_panel(spans)
+
+
+class TestBaseline:
+    def test_no_overlap_single_track(self):
+        panel = make_panel([(0, 2), (4, 6)])
+        result = assign_tracks_baseline(panel, list(range(16, 30)), LINES)
+        assert not result.failed
+        # Left-edge: both reuse the first track.
+        xs = {x for rows in result.tracks.values() for x in rows.values()}
+        assert len(xs) == 1
+
+    def test_on_line_track_failed(self):
+        # First track of the span IS the stitching line at x=15.
+        panel = make_panel([(0, 2)])
+        result = assign_tracks_baseline(panel, [15] + PANEL_XS, LINES)
+        assert result.failed == [0]
+
+    def test_overflow_failed(self):
+        panel = make_panel([(0, 2)] * 3)
+        result = assign_tracks_baseline(panel, [16, 17], LINES)
+        assert len(result.failed) == 1
+        assert len(result.tracks) == 2
+
+    def test_no_doglegs(self):
+        panel = make_panel([(0, 4), (1, 3), (2, 5)])
+        result = assign_tracks_baseline(panel, PANEL_XS, LINES)
+        assert result.dogleg_count() == 0
+
+    def test_valid_assignment(self):
+        rng = random.Random(11)
+        panel = random_panel(rng, 10)
+        result = assign_tracks_baseline(panel, PANEL_XS, LINES)
+        live = [s for s in panel.segments if s.index in result.tracks]
+        assert validate_assignment(live, result.tracks) == []
+
+
+class TestGraph:
+    def test_avoids_bad_ends_with_space(self):
+        # Two short line-end segments; plenty of friendly tracks.
+        panel = make_panel([(0, 3), (2, 6)])
+        result = assign_tracks_graph(panel, PANEL_XS, LINES)
+        assert not result.failed
+        assert result.num_bad_ends == 0
+        assert validate_assignment(panel.segments, result.tracks) == []
+
+    def test_never_uses_stitch_line_track(self):
+        rng = random.Random(5)
+        panel = random_panel(rng, 12)
+        result = assign_tracks_graph(panel, [15] + PANEL_XS, LINES)
+        for rows in result.tracks.values():
+            assert all(x != 15 and x != 30 for x in rows.values())
+
+    def test_full_density_assigns_all(self):
+        # 14 usable tracks, 14 segments all overlapping.
+        panel = make_panel([(0, 5)] * 14)
+        result = assign_tracks_graph(panel, PANEL_XS, LINES)
+        assert not result.failed
+        assert len(result.tracks) == 14
+        assert validate_assignment(panel.segments, result.tracks) == []
+        # With every track used, the two unfriendly tracks carry ends.
+        assert result.num_bad_ends > 0
+
+    def test_over_density_fails_extra(self):
+        panel = make_panel([(0, 5)] * 16)
+        result = assign_tracks_graph(panel, PANEL_XS, LINES)
+        assert len(result.failed) == 2
+        assert len(result.tracks) == 14
+
+    def test_dogleg_resolves_bad_end(self):
+        # A long segment forced next to the line by 13 competing
+        # segments in its middle rows; its ends can dogleg inward.
+        spans = [(0, 9)] + [(3, 6)] * 13
+        panel = make_panel(spans)
+        result = assign_tracks_graph(panel, PANEL_XS, LINES)
+        assert not result.failed
+        assert validate_assignment(panel.segments, result.tracks) == []
+        # Bad ends are far rarer than the 28 line ends at stake.
+        assert result.num_bad_ends <= 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(2, 14))
+    def test_property_valid_and_no_line_tracks(self, seed, count):
+        rng = random.Random(seed)
+        panel = random_panel(rng, count)
+        result = assign_tracks_graph(panel, PANEL_XS, LINES)
+        live = [s for s in panel.segments if s.index in result.tracks]
+        assert validate_assignment(live, result.tracks) == []
+        for rows in result.tracks.values():
+            assert all(16 <= x <= 29 for x in rows.values())
+        assert set(result.tracks) | set(result.failed) == set(
+            s.index for s in panel.segments
+        )
+
+
+class TestILP:
+    def test_simple_panel_optimal(self):
+        panel = make_panel([(0, 3), (2, 6)])
+        result = assign_tracks_ilp(panel, PANEL_XS, LINES)
+        assert not result.failed
+        assert result.num_bad_ends == 0
+        assert validate_assignment(panel.segments, result.tracks) == []
+
+    def test_prefers_straight_tracks(self):
+        panel = make_panel([(0, 5)])
+        result = assign_tracks_ilp(panel, PANEL_XS, LINES)
+        assert result.dogleg_count() == 0
+
+    def test_uses_dogleg_when_forced(self):
+        # Middle rows crowded: the long segment ends must dogleg off
+        # the unfriendly track to avoid bad ends.
+        spans = [(0, 9)] + [(3, 6)] * 13
+        panel = make_panel(spans)
+        result = assign_tracks_ilp(panel, PANEL_XS, LINES)
+        assert not result.failed
+        assert validate_assignment(panel.segments, result.tracks) == []
+        # Rows 3..6 are at full density (14 segments, 14 tracks, two of
+        # them unfriendly).  One unfriendly track can be absorbed by a
+        # mid-span row of the long segment, the other must carry a
+        # short segment with both ends bad: 2 bad ends is optimal.
+        assert result.num_bad_ends == 2
+        assert result.dogleg_count() > 0
+
+    def test_infeasible_exclusions_relaxed(self):
+        # All 14 tracks needed: bad ends unavoidable, ILP must relax.
+        panel = make_panel([(0, 5)] * 14)
+        result = assign_tracks_ilp(panel, PANEL_XS, LINES)
+        assert not result.failed
+        assert len(result.tracks) == 14
+        assert result.num_bad_ends > 0
+
+    def test_graph_matches_ilp_bad_ends_on_small_cases(self):
+        rng = random.Random(23)
+        for _ in range(5):
+            panel = random_panel(rng, rng.randint(2, 8))
+            ilp = assign_tracks_ilp(panel, PANEL_XS, LINES)
+            graph = assign_tracks_graph(panel, PANEL_XS, LINES)
+            # The heuristic may be slightly worse, never better than
+            # the exact optimum.
+            assert graph.num_bad_ends >= ilp.num_bad_ends
+            assert ilp.num_bad_ends == 0
+
+
+class TestDesignDriver:
+    def route_small(self):
+        from tests.globalroute.test_router import design_with_nets, two_pin
+
+        nets = [
+            two_pin("a", (1, 1), (55, 40)),
+            two_pin("b", (40, 2), (2, 41)),
+            two_pin("c", (5, 1), (5, 40)),
+        ]
+        design = design_with_nets(nets)
+        result = GlobalRouter().route(design)
+        return design, result
+
+    def test_assign_tracks_graph_end_to_end(self):
+        design, gr = self.route_small()
+        columns, rows = extract_panels(gr)
+        layers = assign_layers(columns, rows, design.technology)
+        tracks = assign_tracks(design, gr.graph, layers, TrackMethod.GRAPH)
+        assert not tracks.failed_nets
+        assert tracks.cpu_seconds >= 0
+        # Every routed segment got tracks.
+        total_assigned = sum(len(r.tracks) for r in tracks.columns.values())
+        total_assigned += sum(len(r.tracks) for r in tracks.rows.values())
+        total_segments = sum(len(p.segments) for p in columns.values())
+        total_segments += sum(len(p.segments) for p in rows.values())
+        assert total_assigned == total_segments
+
+    def test_bad_ends_per_net(self):
+        design, gr = self.route_small()
+        columns, rows = extract_panels(gr)
+        layers = assign_layers(columns, rows, design.technology)
+        tracks = assign_tracks(design, gr.graph, layers, TrackMethod.GRAPH)
+        counts = tracks.bad_ends_per_net()
+        assert all(v > 0 for v in counts.values())
+        assert sum(counts.values()) == tracks.num_bad_ends
+
+    def test_baseline_vs_graph_bad_ends(self):
+        design, gr = self.route_small()
+        columns, rows = extract_panels(gr)
+        layers = assign_layers(columns, rows, design.technology)
+        base = assign_tracks(design, gr.graph, layers, TrackMethod.BASELINE)
+        graph = assign_tracks(design, gr.graph, layers, TrackMethod.GRAPH)
+        assert graph.num_bad_ends <= base.num_bad_ends

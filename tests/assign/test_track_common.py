@@ -1,0 +1,99 @@
+"""Tests for track regions and assignment validation helpers."""
+
+import pytest
+
+from repro.assign import (
+    Panel,
+    PanelKind,
+    PanelSegment,
+    TrackRegion,
+    find_bad_ends,
+    regions_of_span,
+    validate_assignment,
+)
+from repro.geometry import Interval
+from repro.layout import StitchingLines
+
+
+def seg(index, lo, hi, net=None):
+    return PanelSegment(net=net or f"n{index}", index=index, span=Interval(lo, hi))
+
+
+class TestRegions:
+    lines = StitchingLines((15, 30), epsilon=1, escape_width=4)
+
+    def test_span_with_line_at_left_edge(self):
+        regions = regions_of_span(15, 29, self.lines)
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.xs == tuple(range(16, 30))
+        assert region.sur_left == 1  # track 16 adjacent to line 15
+        assert region.sur_right == 1  # track 29 adjacent to line 30
+
+    def test_span_without_lines(self):
+        regions = regions_of_span(0, 14, self.lines)
+        assert len(regions) == 1
+        assert regions[0].xs == tuple(range(0, 15))
+        assert regions[0].sur_left == 0
+        assert regions[0].sur_right == 1  # track 14 adjacent to line 15
+
+    def test_span_with_interior_line_splits(self):
+        regions = regions_of_span(10, 20, self.lines)
+        assert len(regions) == 2
+        assert regions[0].xs == tuple(range(10, 15))
+        assert regions[1].xs == tuple(range(16, 21))
+
+    def test_is_unfriendly_indexing(self):
+        region = TrackRegion(xs=tuple(range(16, 30)), sur_left=1, sur_right=1)
+        assert region.is_unfriendly(0)
+        assert not region.is_unfriendly(1)
+        assert not region.is_unfriendly(12)
+        assert region.is_unfriendly(13)
+
+
+class TestFindBadEnds:
+    lines = StitchingLines((15,), epsilon=1, escape_width=4)
+
+    def test_end_on_unfriendly_track(self):
+        segments = [seg(0, 2, 5)]
+        tracks = {0: {r: 16 for r in range(2, 6)}}
+        bad = find_bad_ends(segments, tracks, self.lines)
+        assert bad == [(0, 2), (0, 5)]
+
+    def test_end_on_friendly_track(self):
+        segments = [seg(0, 2, 5)]
+        tracks = {0: {r: 20 for r in range(2, 6)}}
+        assert find_bad_ends(segments, tracks, self.lines) == []
+
+    def test_dogleg_moves_end_off_unfriendly(self):
+        segments = [seg(0, 2, 5)]
+        tracks = {0: {2: 18, 3: 16, 4: 16, 5: 18}}
+        assert find_bad_ends(segments, tracks, self.lines) == []
+
+    def test_unassigned_segment_skipped(self):
+        assert find_bad_ends([seg(0, 2, 5)], {}, self.lines) == []
+
+
+class TestValidateAssignment:
+    def test_valid(self):
+        segments = [seg(0, 0, 2), seg(1, 1, 3)]
+        tracks = {
+            0: {0: 5, 1: 5, 2: 5},
+            1: {1: 6, 2: 6, 3: 6},
+        }
+        assert validate_assignment(segments, tracks) == []
+
+    def test_collision_detected(self):
+        segments = [seg(0, 0, 2), seg(1, 1, 3)]
+        tracks = {
+            0: {0: 5, 1: 5, 2: 5},
+            1: {1: 5, 2: 6, 3: 6},
+        }
+        problems = validate_assignment(segments, tracks)
+        assert any("collide" in p for p in problems)
+
+    def test_missing_row_detected(self):
+        segments = [seg(0, 0, 2)]
+        tracks = {0: {0: 5, 2: 5}}
+        problems = validate_assignment(segments, tracks)
+        assert any("missing row 1" in p for p in problems)

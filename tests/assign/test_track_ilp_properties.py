@@ -1,0 +1,60 @@
+"""Property tests for the ILP track assigner (small random panels)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import (
+    assign_tracks_graph,
+    assign_tracks_ilp,
+    validate_assignment,
+)
+from repro.layout import StitchingLines
+from tests.assign.test_track_assign import make_panel, random_panel
+
+LINES = StitchingLines((15, 30), epsilon=1, escape_width=4)
+PANEL_XS = list(range(15, 30))
+
+
+class TestIlpProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=0, max_value=2_000), st.integers(2, 6))
+    def test_valid_and_ordered(self, seed, count):
+        rng = random.Random(seed)
+        panel = random_panel(rng, count, num_rows=6)
+        result = assign_tracks_ilp(panel, PANEL_XS, LINES)
+        live = [s for s in panel.segments if s.index in result.tracks]
+        assert validate_assignment(live, result.tracks) == []
+        # Never a stitch-line track.
+        for per_row in result.tracks.values():
+            assert all(x not in (15, 30) for x in per_row.values())
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=2_000))
+    def test_ilp_not_worse_than_graph(self, seed):
+        rng = random.Random(seed)
+        panel = random_panel(rng, rng.randint(2, 6), num_rows=6)
+        ilp = assign_tracks_ilp(panel, PANEL_XS, LINES)
+        graph = assign_tracks_graph(panel, PANEL_XS, LINES)
+        assert ilp.num_bad_ends <= graph.num_bad_ends
+
+    def test_no_crossings_in_solution(self):
+        """Constraint (9): doglegs of different segments never cross."""
+        spans = [(0, 5)] * 10 + [(2, 3)] * 3
+        panel = make_panel(spans)
+        result = assign_tracks_ilp(panel, PANEL_XS, LINES)
+        # For each adjacent row pair, orderings must be consistent.
+        rows = range(0, 6)
+        for r1, r2 in zip(rows, rows[1:]):
+            placed = [
+                (per_row.get(r1), per_row.get(r2))
+                for per_row in result.tracks.values()
+                if r1 in per_row and r2 in per_row
+            ]
+            for i in range(len(placed)):
+                for j in range(i + 1, len(placed)):
+                    a1, a2 = placed[i]
+                    b1, b2 = placed[j]
+                    assert (a1 - b1) * (a2 - b2) > 0, "crossing doglegs"

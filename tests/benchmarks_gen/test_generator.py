@@ -1,0 +1,138 @@
+"""Tests for the synthetic benchmark generator and suite specs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks_gen import (
+    FARADAY_SPECS,
+    MCNC_HARD_NAMES,
+    MCNC_SPECS,
+    SyntheticSpec,
+    faraday_design,
+    generate_design,
+    mcnc_design,
+    mcnc_suite,
+)
+from repro.config import RouterConfig
+
+SMALL = SyntheticSpec(name="tiny", nets=60, pins=180, layers=3)
+
+
+class TestGenerateDesign:
+    def test_deterministic_per_name(self):
+        d1 = generate_design(SMALL, scale=1.0)
+        d2 = generate_design(SMALL, scale=1.0)
+        assert [n.name for n in d1.netlist] == [n.name for n in d2.netlist]
+        assert [
+            p.location for n in d1.netlist for p in n.pins
+        ] == [p.location for n in d2.netlist for p in n.pins]
+
+    def test_distinct_across_names(self):
+        other = SyntheticSpec(name="tiny2", nets=60, pins=180, layers=3)
+        d1, d2 = generate_design(SMALL), generate_design(other)
+        pins1 = [p.location for n in d1.netlist for p in n.pins]
+        pins2 = [p.location for n in d2.netlist for p in n.pins]
+        assert pins1 != pins2
+
+    def test_net_and_pin_counts_close_to_spec(self):
+        d = generate_design(SMALL)
+        assert abs(d.num_nets - SMALL.nets) <= SMALL.nets * 0.05
+        assert d.num_pins >= 2 * d.num_nets
+
+    def test_scale_shrinks_nets_and_area(self):
+        full = generate_design(SMALL, scale=1.0)
+        half = generate_design(SMALL, scale=0.5)
+        assert half.num_nets < full.num_nets
+        assert half.width * half.height < full.width * full.height
+
+    def test_density_preserved_under_scale(self):
+        full = generate_design(SMALL, scale=1.0)
+        half = generate_design(SMALL, scale=0.5)
+        density_full = full.num_pins / (full.width * full.height)
+        density_half = half.num_pins / (half.width * half.height)
+        assert density_half == pytest.approx(density_full, rel=0.35)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_design(SMALL, scale=0.0)
+        with pytest.raises(ValueError):
+            generate_design(SMALL, scale=1.5)
+
+    def test_all_nets_have_two_distinct_locations(self):
+        d = generate_design(SMALL)
+        for net in d.netlist:
+            assert len({p.location for p in net.pins}) >= 2
+
+    def test_stitch_pin_fraction_honored(self):
+        spec = SyntheticSpec(
+            name="oniony", nets=400, pins=1600, layers=3,
+            stitch_pin_fraction=0.15,
+        )
+        d = generate_design(spec)
+        assert d.stitches is not None
+        on_line = sum(
+            1 for p in d.netlist.pins if d.stitches.is_on_line(p.location.x)
+        )
+        fraction = on_line / d.num_pins
+        assert 0.10 <= fraction <= 0.20
+
+    def test_low_stitch_pin_fraction(self):
+        spec = SyntheticSpec(
+            name="cleanly", nets=400, pins=1600, layers=3,
+            stitch_pin_fraction=0.002,
+        )
+        d = generate_design(spec)
+        on_line = sum(
+            1 for p in d.netlist.pins if d.stitches.is_on_line(p.location.x)
+        )
+        assert on_line / d.num_pins <= 0.02
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    def test_any_scale_yields_valid_design(self, scale):
+        d = generate_design(SMALL, scale=scale)
+        assert d.num_nets >= 4
+        for pin in d.netlist.pins:
+            assert d.bounds.contains(pin.location)
+
+
+class TestSuites:
+    def test_mcnc_specs_match_table1(self):
+        assert MCNC_SPECS["Struct"].nets == 1920
+        assert MCNC_SPECS["Struct"].pins == 5471
+        assert MCNC_SPECS["S38584"].nets == 14754
+        assert all(s.layers == 3 for s in MCNC_SPECS.values())
+        assert len(MCNC_SPECS) == 9
+
+    def test_faraday_specs_match_table2(self):
+        assert FARADAY_SPECS["DMA"].nets == 13256
+        assert FARADAY_SPECS["RISC1"].pins == 196677
+        assert all(s.layers == 6 for s in FARADAY_SPECS.values())
+        assert len(FARADAY_SPECS) == 5
+
+    def test_hard_names_subset(self):
+        assert set(MCNC_HARD_NAMES) <= set(MCNC_SPECS)
+        assert len(MCNC_HARD_NAMES) == 6
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            mcnc_design("nope")
+        with pytest.raises(KeyError):
+            faraday_design("nope")
+
+    def test_small_scale_suite(self):
+        suite = mcnc_suite(scale=0.02)
+        assert len(suite) == 9
+        names = [d.name for d in suite]
+        assert names == list(MCNC_SPECS)
+
+    def test_aspect_ratio_respected(self):
+        d = mcnc_design("Primary2", scale=0.05)
+        assert d.width / d.height == pytest.approx(10438 / 6488, rel=0.25)
+
+    def test_config_propagates(self):
+        config = RouterConfig(stitch_spacing=10, tile_size=10)
+        d = mcnc_design("Struct", scale=0.02, config=config)
+        gaps = {b - a for a, b in zip(d.stitches.xs, d.stitches.xs[1:])}
+        assert gaps == {10}

@@ -1,0 +1,53 @@
+"""Tests for the Table IV congestion-stress benchmark variant."""
+
+import pytest
+
+from repro.benchmarks_gen import (
+    MCNC_HARD_NAMES,
+    mcnc_design,
+    mcnc_stress_design,
+)
+from repro.globalroute import GlobalGraph, GlobalRouter
+
+
+class TestStressDesign:
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(KeyError):
+            mcnc_stress_design("nope")
+
+    def test_same_net_count_as_plain(self):
+        plain = mcnc_design("S13207", scale=0.05)
+        stressed = mcnc_stress_design("S13207", scale=0.05)
+        assert abs(stressed.num_nets - plain.num_nets) <= plain.num_nets * 0.05
+
+    def test_deterministic(self):
+        a = mcnc_stress_design("S5378", scale=0.05)
+        b = mcnc_stress_design("S5378", scale=0.05)
+        assert [p.location for n in a.netlist for p in n.pins] == [
+            p.location for n in b.netlist for p in n.pins
+        ]
+
+    def test_line_end_demand_below_total_capacity(self):
+        """Stress must be routable-around: demand < total capacity."""
+        design = mcnc_stress_design("S38417", scale=0.05)
+        result = GlobalRouter(stitch_aware=False).route(design)
+        graph = result.graph
+        assert (
+            graph.vertex_demand.sum() < graph.vertex_capacity.sum()
+        ), "over-capacity stress would make Table IV unreproducible"
+
+    def test_stress_shows_reducible_overflow(self):
+        """The Table IV mechanism on one mid-size circuit."""
+        design = mcnc_stress_design("S13207", scale=0.1)
+        without = GlobalRouter(stitch_aware=False).route(design)
+        with_ends = GlobalRouter(stitch_aware=True).route(design)
+        assert without.total_vertex_overflow > 0
+        assert (
+            with_ends.total_vertex_overflow
+            <= without.total_vertex_overflow // 2
+        )
+
+    def test_all_hard_names_supported(self):
+        for name in MCNC_HARD_NAMES:
+            design = mcnc_stress_design(name, scale=0.02)
+            assert design.num_nets > 0

@@ -1,0 +1,82 @@
+"""Tests for dogleg materialization in trunk wires."""
+
+import pytest
+
+from repro.assign import (
+    DesignTrackAssignment,
+    Panel,
+    PanelKind,
+    PanelSegment,
+    TrackAssignmentResult,
+)
+from repro.detailed import DetailedGrid, materialize_trunks
+from repro.geometry import Interval
+from repro.globalroute import GlobalGraph
+from tests.detailed.test_grid import make_design
+
+
+def assignment_with_tracks(design, tracks_by_row):
+    """One vertical segment in column panel 1 with given per-row tracks."""
+    rows = sorted(tracks_by_row)
+    seg = PanelSegment(
+        net="n", index=0, span=Interval(rows[0], rows[-1])
+    )
+    panel = Panel(kind=PanelKind.COLUMN, position=1, segments=[seg])
+    result = TrackAssignmentResult(
+        panel=panel, tracks={0: dict(tracks_by_row)}, failed=[], bad_ends=[]
+    )
+    return DesignTrackAssignment(
+        columns={(1, 2): result}, rows={}, failed_nets=set(), cpu_seconds=0.0
+    )
+
+
+class TestDoglegMaterialization:
+    def test_straight_segment(self):
+        design = make_design()
+        assignment = assignment_with_tracks(design, {0: 20, 1: 20})
+        grid = DetailedGrid(design)
+        pieces = materialize_trunks(
+            design, grid, GlobalGraph(design), assignment
+        )
+        ((piece,),) = [pieces["n"]]
+        xs = {n[0] for n in piece.nodes}
+        assert xs == {20}
+        ys = sorted(n[1] for n in piece.nodes)
+        assert ys[0] == 0 and ys[-1] == 29  # two full tile rows
+
+    def test_dogleg_creates_jog(self):
+        design = make_design()
+        assignment = assignment_with_tracks(design, {0: 18, 1: 22})
+        grid = DetailedGrid(design)
+        pieces = materialize_trunks(
+            design, grid, GlobalGraph(design), assignment
+        )
+        ((piece,),) = [pieces["n"]]
+        # Jog nodes at the tile boundary y = 15 between x 18 and 22.
+        jog_nodes = {n for n in piece.nodes if n[1] == 15}
+        assert {(x, 15, 2) for x in range(18, 23)} <= set(piece.nodes)
+        # The run is contiguous.
+        for a, b in zip(piece.nodes, piece.nodes[1:]):
+            assert sum(abs(p - q) for p, q in zip(a, b)) == 1
+
+    def test_dogleg_leftward(self):
+        design = make_design()
+        assignment = assignment_with_tracks(design, {0: 24, 1: 19})
+        grid = DetailedGrid(design)
+        pieces = materialize_trunks(
+            design, grid, GlobalGraph(design), assignment
+        )
+        ((piece,),) = [pieces["n"]]
+        for a, b in zip(piece.nodes, piece.nodes[1:]):
+            assert sum(abs(p - q) for p, q in zip(a, b)) == 1
+        assert {(x, 15, 2) for x in range(19, 25)} <= set(piece.nodes)
+
+    def test_blocked_jog_splits_piece(self):
+        design = make_design()
+        assignment = assignment_with_tracks(design, {0: 18, 1: 22})
+        grid = DetailedGrid(design)
+        grid.occupy((20, 15, 2), "other")  # block the middle of the jog
+        pieces = materialize_trunks(
+            design, grid, GlobalGraph(design), assignment
+        )
+        assert len(pieces["n"]) == 2

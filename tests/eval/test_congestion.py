@@ -1,0 +1,81 @@
+"""Tests for congestion statistics and heat maps."""
+
+import pytest
+
+from repro.eval import (
+    detailed_layer_utilization,
+    global_congestion_stats,
+    vertex_heatmap,
+)
+from repro.globalroute import GlobalRouter
+from tests.detailed.test_router import route_design
+from tests.globalroute.test_router import design_with_nets, two_pin
+
+
+@pytest.fixture(scope="module")
+def routed():
+    nets = [
+        two_pin("a", (1, 1), (55, 40)),
+        two_pin("b", (10, 5), (50, 35)),
+        two_pin("c", (5, 40), (55, 2)),
+    ]
+    design = design_with_nets(nets)
+    gr = GlobalRouter().route(design)
+    det, _ = route_design(design)
+    return design, gr, det
+
+
+class TestGlobalCongestion:
+    def test_three_resource_kinds(self, routed):
+        _, gr, _ = routed
+        stats = global_congestion_stats(gr)
+        assert [s.resource for s in stats] == [
+            "horizontal edges",
+            "vertical edges",
+            "line ends (vertices)",
+        ]
+
+    def test_utilization_bounds(self, routed):
+        _, gr, _ = routed
+        for s in global_congestion_stats(gr):
+            assert 0.0 <= s.mean_utilization <= s.max_utilization
+            assert 0 <= s.overflowed <= s.total
+            assert 0.0 <= s.overflow_fraction <= 1.0
+
+    def test_nonzero_demand_measured(self, routed):
+        _, gr, _ = routed
+        stats = global_congestion_stats(gr)
+        assert any(s.mean_utilization > 0 for s in stats)
+
+
+class TestVertexHeatmap:
+    def test_dimensions(self, routed):
+        _, gr, _ = routed
+        art = vertex_heatmap(gr)
+        lines = art.splitlines()
+        assert len(lines) == gr.graph.ny
+        assert all(len(line) == gr.graph.nx for line in lines)
+
+    def test_empty_graph_blank(self, routed):
+        design, _, _ = routed
+        from repro.globalroute import GlobalGraph
+        from repro.globalroute.router import GlobalRoutingResult
+
+        empty = GlobalRoutingResult(
+            design=design,
+            graph=GlobalGraph(design),
+            routes={},
+            failed=[],
+            cpu_seconds=0.0,
+        )
+        art = vertex_heatmap(empty)
+        assert set(art) <= {" ", "\n"}
+
+
+class TestDetailedUtilization:
+    def test_per_layer_fractions(self, routed):
+        design, _, det = routed
+        util = detailed_layer_utilization(det)
+        assert set(util) == set(design.technology.layers)
+        assert all(0.0 <= v <= 1.0 for v in util.values())
+        assert util[1] > 0  # pins and horizontal wires live on layer 1

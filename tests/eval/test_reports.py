@@ -1,0 +1,49 @@
+"""Tests for report aggregation semantics."""
+
+import pytest
+
+from repro.eval import NetReport, RoutingReport
+
+
+def make_report(**overrides):
+    nets = {
+        "a": NetReport("a", True, 1, 0, 2, 10, 3),
+        "b": NetReport("b", False, 0, 0, 5, 4, 1),
+    }
+    defaults = dict(
+        design_name="t",
+        total_nets=2,
+        routed_nets=1,
+        via_violations=1,
+        vertical_violations=0,
+        short_polygons=2,
+        wirelength=14,
+        vias=4,
+        cpu_seconds=0.5,
+        nets=nets,
+    )
+    defaults.update(overrides)
+    return RoutingReport(**defaults)
+
+
+class TestRoutingReport:
+    def test_routability(self):
+        assert make_report().routability == 0.5
+
+    def test_empty_report_routability(self):
+        report = make_report(total_nets=0, routed_nets=0, nets={})
+        assert report.routability == 1.0
+
+    def test_row_shape(self):
+        row = make_report().row()
+        assert row["circuit"] == "t"
+        assert row["rout_pct"] == pytest.approx(50.0)
+        assert row["vv"] == 1
+        assert row["sp"] == 2
+        assert row["wl"] == 14
+
+    def test_per_net_reports_kept(self):
+        report = make_report()
+        assert report.nets["a"].routed
+        assert not report.nets["b"].routed
+        assert report.nets["b"].short_polygons == 5

@@ -1,0 +1,104 @@
+"""Unit and property tests for Point, GridPoint, and Rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import GridPoint, Point, Rect
+
+coords = st.integers(min_value=-50, max_value=50)
+
+
+class TestPoint:
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    @given(coords, coords, coords, coords)
+    def test_manhattan_symmetric(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_manhattan_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c)
+
+
+class TestGridPoint:
+    def test_point_projection(self):
+        assert GridPoint(3, 4, 2).point == Point(3, 4)
+
+    def test_manhattan_counts_layer_hops(self):
+        assert GridPoint(0, 0, 1).manhattan(GridPoint(0, 0, 3)) == 2
+        assert GridPoint(1, 1, 1).manhattan(GridPoint(2, 3, 2)) == 4
+
+
+class TestRect:
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 4, 0)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 0, 4)
+
+    def test_from_points_normalizes(self):
+        r = Rect.from_points(Point(5, 1), Point(2, 7))
+        assert (r.lo_x, r.lo_y, r.hi_x, r.hi_y) == (2, 1, 5, 7)
+
+    def test_dimensions_inclusive(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 5
+        assert r.height == 3
+        assert r.area == 15
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(2, 2))
+        assert not r.contains(Point(3, 2))
+
+    def test_intersection_disjoint(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(3, 3, 4, 4)) is None
+
+    def test_intersection_touching_cells(self):
+        # Closed rectangles sharing a cell edge overlap in that cell row.
+        r = Rect(0, 0, 2, 2).intersection(Rect(2, 2, 4, 4))
+        assert r == Rect(2, 2, 2, 2)
+
+    def test_points_enumerates_all_cells(self):
+        r = Rect(1, 1, 2, 3)
+        assert len(list(r.points())) == r.area
+
+    def test_expanded_and_clipped(self):
+        r = Rect(2, 2, 3, 3).expanded(2)
+        assert r == Rect(0, 0, 5, 5)
+        assert r.clipped(Rect(1, 1, 4, 4)) == Rect(1, 1, 4, 4)
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_intersection_commutative(self, a, b, c, d, e, f, g, h):
+        r1 = Rect.from_points(Point(a, b), Point(c, d))
+        r2 = Rect.from_points(Point(e, f), Point(g, h))
+        assert r1.intersection(r2) == r2.intersection(r1)
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_intersection_inside_both(self, a, b, c, d, e, f, g, h):
+        r1 = Rect.from_points(Point(a, b), Point(c, d))
+        r2 = Rect.from_points(Point(e, f), Point(g, h))
+        inter = r1.intersection(r2)
+        if inter is not None:
+            assert r1.contains_rect(inter)
+            assert r2.contains_rect(inter)
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_union_bbox_contains_both(self, a, b, c, d, e, f, g, h):
+        r1 = Rect.from_points(Point(a, b), Point(c, d))
+        r2 = Rect.from_points(Point(e, f), Point(g, h))
+        u = r1.union_bbox(r2)
+        assert u.contains_rect(r1)
+        assert u.contains_rect(r2)

@@ -1,0 +1,35 @@
+"""The bottom-up ordering property of pass 1 (Section II-B)."""
+
+import pytest
+
+from repro.globalroute import GlobalGraph, GlobalRouter
+from tests.globalroute.test_router import design_with_nets, two_pin
+
+
+class TestBottomUpOrder:
+    def test_local_nets_first(self):
+        nets = [
+            two_pin("global", (1, 1), (55, 40)),
+            two_pin("local", (1, 1), (5, 5)),
+            two_pin("mid", (1, 1), (20, 20)),
+        ]
+        design = design_with_nets(nets)
+        graph = GlobalGraph(design)
+        router = GlobalRouter()
+        order = [n.name for n in router._bottom_up_order(design, graph)]
+        assert order.index("local") < order.index("mid") < order.index(
+            "global"
+        )
+
+    def test_ties_broken_by_hpwl_then_name(self):
+        nets = [
+            two_pin("b", (1, 1), (9, 9)),
+            two_pin("a", (1, 1), (9, 9)),
+            two_pin("c", (1, 1), (3, 3)),
+        ]
+        design = design_with_nets(nets)
+        graph = GlobalGraph(design)
+        order = [
+            n.name for n in GlobalRouter()._bottom_up_order(design, graph)
+        ]
+        assert order == ["c", "a", "b"]

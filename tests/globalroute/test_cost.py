@@ -1,0 +1,76 @@
+"""Tests for the congestion cost functions of Eqs. (1)-(3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.globalroute import (
+    GlobalGraph,
+    congestion_cost,
+    edge_cost,
+    edge_cost_if_used,
+    path_cost,
+    vertex_cost,
+    vertex_cost_if_used,
+)
+from tests.globalroute.test_graph import make_design
+
+
+class TestCongestionCost:
+    def test_zero_demand_free(self):
+        assert congestion_cost(0, 10) == 0.0
+
+    def test_full_capacity_costs_one(self):
+        assert congestion_cost(10, 10) == pytest.approx(1.0)
+
+    def test_half_capacity(self):
+        assert congestion_cost(5, 10) == pytest.approx(2**0.5 - 1)
+
+    def test_overflow_grows_fast(self):
+        assert congestion_cost(20, 10) == pytest.approx(3.0)
+
+    def test_zero_capacity_penalized(self):
+        assert congestion_cost(1, 0) > congestion_cost(10, 10)
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_monotone_in_demand(self, d, c):
+        assert congestion_cost(d + 1, c) > congestion_cost(d, c) - 1e-12
+
+
+class TestGraphCosts:
+    def test_edge_cost_tracks_demand(self):
+        g = GlobalGraph(make_design())
+        key = ("h", 0, 0)
+        assert edge_cost(g, key) == 0.0
+        g.add_edge_demand(key, int(g.edge_capacity(key)))
+        assert edge_cost(g, key) == pytest.approx(1.0)
+
+    def test_edge_cost_if_used_prices_next_unit(self):
+        g = GlobalGraph(make_design())
+        key = ("h", 0, 0)
+        assert edge_cost_if_used(g, key) > edge_cost(g, key)
+
+    def test_history_raises_price(self):
+        g = GlobalGraph(make_design())
+        base = edge_cost_if_used(g, ("h", 0, 0))
+        g.h_history[0, 0] = 2.0
+        assert edge_cost_if_used(g, ("h", 0, 0)) == pytest.approx(base + 2.0)
+
+    def test_vertex_cost(self):
+        g = GlobalGraph(make_design())
+        assert vertex_cost(g, (1, 0)) == 0.0
+        g.add_vertex_demand((1, 0), int(g.vertex_capacity[1, 0]))
+        assert vertex_cost(g, (1, 0)) == pytest.approx(1.0)
+        assert vertex_cost_if_used(g, (1, 0)) > 1.0
+
+    def test_path_cost_sums_edges_and_vertices(self):
+        g = GlobalGraph(make_design())
+        tiles = [(0, 0), (1, 0), (1, 1)]
+        g.add_edge_demand(("h", 0, 0), 10)
+        g.add_vertex_demand((1, 0), 5)
+        with_v = path_cost(g, tiles, include_vertex_cost=True)
+        without_v = path_cost(g, tiles, include_vertex_cost=False)
+        assert with_v > without_v > 0.0

@@ -1,0 +1,26 @@
+"""Tests for the optional Steiner-tree decomposition in global routing."""
+
+from repro.benchmarks_gen import SyntheticSpec, generate_design
+from repro.globalroute import GlobalRouter
+
+SPEC = SyntheticSpec(
+    name="steiner-gr", nets=120, pins=420, layers=3, cells_per_pin=26.0
+)
+
+
+class TestSteinerMode:
+    def test_steiner_never_longer(self):
+        design = generate_design(SPEC)
+        mst = GlobalRouter(steiner=False).route(design)
+        steiner = GlobalRouter(steiner=True).route(design)
+        assert steiner.wirelength <= mst.wirelength
+        assert not steiner.failed
+
+    def test_two_pin_nets_unchanged(self):
+        from tests.globalroute.test_router import design_with_nets, two_pin
+
+        nets = [two_pin("a", (1, 1), (55, 40))]
+        design = design_with_nets(nets)
+        mst = GlobalRouter(steiner=False).route(design)
+        steiner = GlobalRouter(steiner=True).route(design)
+        assert mst.routes["a"].paths == steiner.routes["a"].paths

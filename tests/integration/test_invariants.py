@@ -1,0 +1,76 @@
+"""Property-based end-to-end invariants on random small designs.
+
+Whatever the netlist, a completed flow must satisfy the hard MEBL
+constraints and basic electrical sanity: no vertical wire on a
+stitching line, vias on lines only at fixed pins, no two nets sharing
+metal, and every routed net connected.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DisjointSet
+from repro.benchmarks_gen import SyntheticSpec, generate_design
+from repro.core import StitchAwareRouter
+from repro.eval import evaluate
+
+
+def spec_strategy():
+    return st.builds(
+        SyntheticSpec,
+        name=st.just("prop"),
+        nets=st.integers(min_value=12, max_value=45),
+        pins=st.integers(min_value=30, max_value=120),
+        layers=st.sampled_from([3, 4, 6]),
+        aspect=st.floats(min_value=0.6, max_value=1.8),
+        stitch_pin_fraction=st.floats(min_value=0.0, max_value=0.2),
+        cells_per_pin=st.floats(min_value=20.0, max_value=40.0),
+        locality=st.floats(min_value=0.1, max_value=0.3),
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(spec_strategy(), st.integers(min_value=0, max_value=10_000))
+def test_flow_invariants(spec, seed):
+    design = generate_design(spec, seed=seed)
+    flow = StitchAwareRouter().route(design)
+    report = flow.report
+    assert design.stitches is not None
+
+    # Hard constraint: zero vertical routing violations.
+    assert report.vertical_violations == 0
+
+    # Via violations only at fixed pins on stitching lines.
+    on_line_pins = sum(
+        1
+        for p in design.netlist.pins
+        if design.stitches.is_on_line(p.location.x)
+    )
+    assert report.via_violations <= on_line_pins
+
+    # Exclusive metal ownership.
+    seen = {}
+    for name, rn in flow.detailed_result.nets.items():
+        for node in rn.nodes:
+            assert seen.setdefault(node, name) == name
+
+    # Electrical connectivity of routed nets.
+    for name, rn in flow.detailed_result.nets.items():
+        if not rn.routed:
+            continue
+        ds = DisjointSet()
+        for a, b in rn.edges:
+            ds.union(a, b)
+        pins = sorted(rn.pin_nodes)
+        for pin in pins[1:]:
+            assert ds.connected(pins[0], pin)
+
+    # Report self-consistency.
+    assert report.total_nets == design.num_nets
+    assert 0 <= report.routed_nets <= report.total_nets
+    assert report.wirelength >= 0 and report.vias >= 0

@@ -1,0 +1,29 @@
+"""End-to-end: CLI snapshot -> reload -> identical re-route."""
+
+import json
+
+from repro.cli import main
+from repro.core import StitchAwareRouter
+from repro.io import load_design, load_report
+
+
+def test_cli_snapshot_reroutes_identically(tmp_path, capsys):
+    design_path = tmp_path / "design.json"
+    report_path = tmp_path / "report.json"
+    code = main([
+        "route", "S9234", "--scale", "0.02",
+        "--report", str(report_path),
+        "--save-design", str(design_path),
+    ])
+    assert code == 0
+    capsys.readouterr()
+
+    design = load_design(design_path)
+    saved_report = load_report(report_path)
+    fresh = StitchAwareRouter().route(design).report
+    assert fresh.short_polygons == saved_report.short_polygons
+    assert fresh.routed_nets == saved_report.routed_nets
+    assert fresh.wirelength == saved_report.wirelength
+    # The files are valid JSON documents with format tags.
+    assert json.loads(design_path.read_text())["format"] == "repro-design"
+    assert json.loads(report_path.read_text())["format"] == "repro-report"

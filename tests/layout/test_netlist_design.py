@@ -1,0 +1,123 @@
+"""Tests for netlist containers and the Design instance."""
+
+import pytest
+
+from repro.config import RouterConfig
+from repro.geometry import Point, Rect
+from repro.layout import Design, Net, Netlist, Pin, StitchingLines, Technology
+
+
+def two_pin_net(name, a, b, layer=1):
+    return Net(
+        name,
+        (
+            Pin(f"{name}.1", Point(*a), layer),
+            Pin(f"{name}.2", Point(*b), layer),
+        ),
+    )
+
+
+class TestNet:
+    def test_single_pin_rejected(self):
+        with pytest.raises(ValueError):
+            Net("n", (Pin("p", Point(0, 0)),))
+
+    def test_bbox_and_hpwl(self):
+        net = two_pin_net("n", (1, 2), (4, 6))
+        assert net.bbox == Rect(1, 2, 4, 6)
+        assert net.hpwl == 7
+
+
+class TestNetlist:
+    def test_duplicate_names_rejected(self):
+        nets = [two_pin_net("n", (0, 0), (1, 1))] * 2
+        with pytest.raises(ValueError):
+            Netlist(nets)
+
+    def test_lookup(self):
+        nl = Netlist([two_pin_net("a", (0, 0), (1, 1))])
+        assert nl["a"].name == "a"
+        assert "a" in nl and "b" not in nl
+        assert nl.num_pins == 2
+
+    def test_bbox(self):
+        nl = Netlist(
+            [
+                two_pin_net("a", (0, 0), (2, 2)),
+                two_pin_net("b", (5, 1), (6, 8)),
+            ]
+        )
+        assert nl.bbox() == Rect(0, 0, 6, 8)
+
+    def test_empty_bbox_raises(self):
+        with pytest.raises(ValueError):
+            Netlist([]).bbox()
+
+
+class TestTechnology:
+    def test_alternating_directions(self):
+        tech = Technology(4)
+        assert tech.is_horizontal(1)
+        assert tech.is_vertical(2)
+        assert tech.is_horizontal(3)
+        assert tech.is_vertical(4)
+        assert tech.horizontal_layers == [1, 3]
+        assert tech.vertical_layers == [2, 4]
+
+    def test_single_layer_rejected(self):
+        with pytest.raises(ValueError):
+            Technology(1)
+
+    def test_out_of_range_layer(self):
+        with pytest.raises(ValueError):
+            Technology(3).direction(4)
+
+
+class TestDesign:
+    def make(self, **kwargs):
+        nl = Netlist([two_pin_net("a", (1, 1), (20, 20))])
+        defaults = dict(
+            name="t",
+            width=46,
+            height=46,
+            technology=Technology(3),
+            netlist=nl,
+        )
+        defaults.update(kwargs)
+        return Design(**defaults)
+
+    def test_default_stitches_built(self):
+        d = self.make()
+        assert d.stitches is not None
+        assert d.stitches.xs == (15, 30, 45)
+
+    def test_pin_outside_die_rejected(self):
+        nl = Netlist([two_pin_net("a", (1, 1), (100, 1))])
+        with pytest.raises(ValueError):
+            self.make(netlist=nl)
+
+    def test_pin_on_bad_layer_rejected(self):
+        nl = Netlist([two_pin_net("a", (1, 1), (2, 2), layer=9)])
+        with pytest.raises(ValueError):
+            self.make(netlist=nl)
+
+    def test_pin_on_stitch_line(self):
+        d = self.make()
+        assert d.pin_on_stitch_line(Point(15, 3))
+        assert not d.pin_on_stitch_line(Point(16, 3))
+
+    def test_summary(self):
+        s = self.make().summary()
+        assert s["circuit"] == "t"
+        assert s["nets"] == 1
+        assert s["pins"] == 2
+        assert s["stitch_lines"] == 3
+
+    def test_explicit_stitches_respected(self):
+        lines = StitchingLines((10,))
+        d = self.make(stitches=lines)
+        assert d.stitches is lines
+
+    def test_config_spacing_respected(self):
+        d = self.make(config=RouterConfig(stitch_spacing=10, tile_size=10))
+        assert d.stitches.xs == (10, 20, 30, 40)

@@ -1,0 +1,33 @@
+"""Extra technology-stack cases: VHV stacks and deep stacks."""
+
+import pytest
+
+from repro.layout import Direction, Technology
+
+
+class TestAlternativeStacks:
+    def test_vhv_stack(self):
+        tech = Technology(3, first_direction=Direction.VERTICAL)
+        assert tech.is_vertical(1)
+        assert tech.is_horizontal(2)
+        assert tech.is_vertical(3)
+        assert tech.vertical_layers == [1, 3]
+        assert tech.horizontal_layers == [2]
+
+    def test_deep_stack_partitions_layers(self):
+        tech = Technology(8)
+        assert len(tech.horizontal_layers) == 4
+        assert len(tech.vertical_layers) == 4
+        assert set(tech.horizontal_layers) | set(tech.vertical_layers) == set(
+            tech.layers
+        )
+        assert not set(tech.horizontal_layers) & set(tech.vertical_layers)
+
+    def test_directions_strictly_alternate(self):
+        tech = Technology(6)
+        for a, b in zip(tech.layers, list(tech.layers)[1:]):
+            assert tech.direction(a) != tech.direction(b)
+
+    def test_layer_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Technology(4).direction(0)

@@ -1,0 +1,62 @@
+"""Additional multilevel tests: hierarchy properties on random nets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multilevel import MultilevelScheme
+from tests.multilevel.test_scheme import make_design, two_pin
+
+
+class TestHierarchyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=119),
+        st.integers(min_value=0, max_value=119),
+        st.integers(min_value=0, max_value=119),
+        st.integers(min_value=0, max_value=119),
+    )
+    def test_net_level_is_minimal(self, x1, y1, x2, y2):
+        """The reported level is the first where both pins coincide."""
+        net = two_pin("n", (x1, y1), (x2, y2))
+        scheme = MultilevelScheme(make_design([net]), nx=8, ny=8)
+        level = scheme.net_level(net)
+        lo = scheme.tile0_of(x1, y1)
+        hi = scheme.tile0_of(x2, y2)
+        assert scheme.tile_at_level(lo, level) == scheme.tile_at_level(
+            hi, level
+        )
+        if level > 0:
+            assert scheme.tile_at_level(lo, level - 1) != scheme.tile_at_level(
+                hi, level - 1
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=119), st.integers(0, 119))
+    def test_coarsening_is_monotone(self, x, y):
+        """Once two tiles merge they stay merged at coarser levels."""
+        scheme = MultilevelScheme(make_design(), nx=8, ny=8)
+        t = scheme.tile0_of(x, y)
+        previous = None
+        for level in range(scheme.num_levels):
+            coarse = scheme.tile_at_level(t, level)
+            if previous is not None:
+                assert coarse == (previous[0] >> 1, previous[1] >> 1)
+            previous = coarse
+
+    def test_top_level_single_tile(self):
+        scheme = MultilevelScheme(make_design(), nx=8, ny=8)
+        top = scheme.num_levels - 1
+        assert scheme.grid_at_level(top) == (1, 1)
+
+    def test_bottom_up_order_is_stable(self):
+        nets = [
+            two_pin("z", (1, 1), (5, 5)),
+            two_pin("a", (1, 1), (4, 4)),
+            two_pin("m", (0, 0), (110, 110)),
+        ]
+        scheme = MultilevelScheme(make_design(nets), nx=8, ny=8)
+        order1 = [n.name for n in scheme.bottom_up_order()]
+        order2 = [n.name for n in scheme.bottom_up_order()]
+        assert order1 == order2
+        assert order1[-1] == "m"  # the global net routes last

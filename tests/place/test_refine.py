@@ -1,0 +1,108 @@
+"""Tests for stitch-aware placement refinement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks_gen import SyntheticSpec, generate_design
+from repro.config import RouterConfig
+from repro.core import StitchAwareRouter
+from repro.geometry import Point
+from repro.layout import Design, Net, Netlist, Pin, Technology
+from repro.place import refine_pin_placement
+
+ONLINE_SPEC = SyntheticSpec(
+    name="place-t", nets=40, pins=110, layers=3, stitch_pin_fraction=0.2
+)
+
+
+def design_with_pins(pins_xy, width=46, height=31):
+    nets = []
+    for i in range(0, len(pins_xy) - 1, 2):
+        nets.append(
+            Net(
+                f"n{i}",
+                (
+                    Pin(f"n{i}.a", Point(*pins_xy[i]), 1),
+                    Pin(f"n{i}.b", Point(*pins_xy[i + 1]), 1),
+                ),
+            )
+        )
+    return Design(
+        name="toy",
+        width=width,
+        height=height,
+        technology=Technology(3),
+        netlist=Netlist(nets),
+        config=RouterConfig(),
+    )
+
+
+class TestRefine:
+    def test_moves_on_line_pin(self):
+        design = design_with_pins([(15, 5), (40, 20)])
+        result = refine_pin_placement(design)
+        assert result.moved_pins == 1
+        assert result.unmovable_pins == 0
+        pin = result.design.netlist["n0"].pins[0]
+        assert not design.stitches.is_on_line(pin.location.x)
+        assert abs(pin.location.x - 15) <= 2
+
+    def test_leaves_clean_pins_alone(self):
+        design = design_with_pins([(5, 5), (40, 20)])
+        result = refine_pin_placement(design)
+        assert result.moved_pins == 0
+        assert result.total_displacement == 0
+        assert result.design.netlist["n0"].pins[0].location == Point(5, 5)
+
+    def test_respects_occupied_targets(self):
+        # Neighbours of the on-line pin at distance 1 are taken; the
+        # pin must land at distance 2.
+        design = design_with_pins(
+            [(15, 5), (40, 20), (14, 5), (16, 5)]
+        )
+        result = refine_pin_placement(design, max_shift=2)
+        pin = result.design.netlist["n0"].pins[0]
+        assert abs(pin.location.x - 15) == 2
+
+    def test_unmovable_when_no_room(self):
+        design = design_with_pins(
+            [(15, 5), (40, 20), (14, 5), (16, 5), (13, 5), (17, 5)]
+        )
+        result = refine_pin_placement(design, max_shift=2)
+        assert result.unmovable_pins == 1
+        # The pin stays where it was.
+        assert result.design.netlist["n0"].pins[0].location == Point(15, 5)
+
+    def test_avoid_unfriendly_mode(self):
+        design = design_with_pins([(16, 5), (40, 20)])  # SUR, not line
+        plain = refine_pin_placement(design)
+        strict = refine_pin_placement(design, avoid_unfriendly=True)
+        assert plain.moved_pins == 0
+        assert strict.moved_pins == 1
+        x = strict.design.netlist["n0"].pins[0].location.x
+        assert not design.stitches.in_unfriendly_region(x)
+
+    def test_original_design_untouched(self):
+        design = design_with_pins([(15, 5), (40, 20)])
+        refine_pin_placement(design)
+        assert design.netlist["n0"].pins[0].location == Point(15, 5)
+
+    def test_removes_via_violations_end_to_end(self):
+        design = generate_design(ONLINE_SPEC)
+        before = StitchAwareRouter().route(design).report
+        result = refine_pin_placement(design)
+        after = StitchAwareRouter().route(result.design).report
+        assert before.via_violations > 0
+        assert after.via_violations < before.via_violations
+        if result.unmovable_pins == 0:
+            assert after.via_violations == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_refined_pins_never_on_lines_when_all_movable(self, seed):
+        design = generate_design(ONLINE_SPEC, seed=seed)
+        result = refine_pin_placement(design, max_shift=3)
+        if result.unmovable_pins == 0:
+            for pin in result.design.netlist.pins:
+                assert not design.stitches.is_on_line(pin.location.x)

@@ -1,0 +1,46 @@
+"""Extra dithering properties across kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raster import DitherKernel, dither
+
+
+class TestKernelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(list(DitherKernel)),
+    )
+    def test_dose_conservation_random_images(self, seed, kernel):
+        """Error diffusion loses intensity only at the image borders."""
+        rng = np.random.default_rng(seed)
+        gray = rng.random((12, 12)) * 0.8
+        out = dither(gray, kernel)
+        # The diffused error that can leave the image is bounded by the
+        # border length; interior dose is conserved.
+        assert abs(float(out.sum()) - float(gray.sum())) <= 24
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from(list(DitherKernel)))
+    def test_idempotent_on_binary_input(self, kernel):
+        rng = np.random.default_rng(3)
+        binary = (rng.random((10, 10)) > 0.5).astype(np.float64)
+        out = dither(binary, kernel)
+        assert np.array_equal(out, binary.astype(np.uint8))
+
+    def test_kernels_differ_on_gray(self):
+        gray = np.full((8, 8), 0.37)
+        paper = dither(gray, DitherKernel.PAPER)
+        floyd = dither(gray, DitherKernel.FLOYD_STEINBERG)
+        # Same average dose, different pixel patterns.
+        assert abs(int(paper.sum()) - int(floyd.sum())) <= 6
+        assert not np.array_equal(paper, floyd)
+
+    def test_threshold_parameter(self):
+        gray = np.full((6, 6), 0.4)
+        low = dither(gray, threshold=0.3)
+        high = dither(gray, threshold=0.9)
+        assert low.sum() >= high.sum()

@@ -1,0 +1,96 @@
+"""Tests for rasterizing routed geometry (routing → raster bridge)."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_gen import SyntheticSpec, generate_design
+from repro.core import BaselineRouter, StitchAwareRouter
+from repro.geometry import Rect
+from repro.raster import (
+    rasterize_window,
+    score_short_polygons,
+    window_polygons,
+)
+
+SPEC = SyntheticSpec(
+    name="raster-bridge", nets=60, pins=160, layers=3,
+    cells_per_pin=24.0, stitch_pin_fraction=0.1,
+)
+
+
+@pytest.fixture(scope="module")
+def routed():
+    design = generate_design(SPEC)
+    return design, BaselineRouter().route(design).detailed_result
+
+
+class TestWindowPolygons:
+    def test_polygons_within_window(self, routed):
+        design, result = routed
+        window = Rect(0, 0, 19, 19)
+        polygons = window_polygons(result, window, layer=1, pixels_per_pitch=4)
+        assert polygons, "layer 1 must contain wire in a routed design"
+        for poly in polygons:
+            assert 0 <= poly.x0 < poly.x1 <= window.width * 4
+            assert 0 <= poly.y0 < poly.y1 <= window.height * 4
+
+    def test_invalid_wire_width(self, routed):
+        _, result = routed
+        with pytest.raises(ValueError):
+            window_polygons(result, Rect(0, 0, 9, 9), 1, wire_width=0.0)
+
+    def test_layer_filtering(self, routed):
+        _, result = routed
+        window = Rect(0, 0, 19, 19)
+        l1 = window_polygons(result, window, layer=1)
+        l2 = window_polygons(result, window, layer=2)
+        # Horizontal wires are wider than tall and vice versa.
+        if l1:
+            p = l1[0]
+            assert (p.x1 - p.x0) >= (p.y1 - p.y0)
+        if l2:
+            p = l2[0]
+            assert (p.y1 - p.y0) >= (p.x1 - p.x0)
+
+
+class TestRasterizeWindow:
+    def test_bitmap_shapes(self, routed):
+        _, result = routed
+        window = Rect(0, 0, 9, 7)
+        gray, binary = rasterize_window(result, window, layer=1,
+                                        pixels_per_pitch=3)
+        # Rect(0,0,9,7) covers 10 columns x 8 rows (inclusive bounds).
+        assert gray.shape == (8 * 3, 10 * 3)
+        assert binary.shape == gray.shape
+        assert set(np.unique(binary)) <= {0, 1}
+
+    def test_gray_levels_exist(self, routed):
+        """Sub-pixel wire widths must produce fractional coverage."""
+        _, result = routed
+        window = Rect(0, 0, 19, 19)
+        gray, _ = rasterize_window(result, window, layer=1)
+        fractional = gray[(gray > 0.01) & (gray < 0.99)]
+        assert fractional.size > 0
+
+
+class TestScoreShortPolygons:
+    def test_scores_match_report_sites(self, routed):
+        design, result = routed
+        from repro.eval import evaluate
+
+        report = evaluate(result)
+        scores = score_short_polygons(result)
+        assert len(scores) == report.short_polygons
+
+    def test_scores_have_defects(self, routed):
+        _, result = routed
+        scores = score_short_polygons(result, limit=5)
+        if scores:  # baseline on this seed leaves short polygons
+            assert all(s.relative_error >= 0 for s in scores)
+            assert any(s.relative_error > 0 for s in scores)
+            assert all(s.stub_length >= 1 for s in scores)
+
+    def test_limit_respected(self, routed):
+        _, result = routed
+        scores = score_short_polygons(result, limit=2)
+        assert len(scores) <= 2

@@ -1,0 +1,49 @@
+"""Tests for PGM image output."""
+
+import numpy as np
+import pytest
+
+from repro.raster import load_pgm, save_pgm, to_pgm
+
+
+class TestToPgm:
+    def test_header(self):
+        doc = to_pgm(np.zeros((2, 3)))
+        lines = doc.splitlines()
+        assert lines[0] == "P2"
+        assert lines[1] == "3 2"
+        assert lines[2] == "255"
+
+    def test_float_scaling(self):
+        doc = to_pgm(np.array([[0.0, 0.5, 1.0]]))
+        assert doc.splitlines()[3] == "0 128 255"
+
+    def test_binary_image_scaled(self):
+        doc = to_pgm(np.array([[0, 1]], dtype=np.uint8))
+        assert doc.splitlines()[3] == "0 255"
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            to_pgm(np.zeros(4))
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        image = np.linspace(0, 1, 12).reshape(3, 4)
+        path = tmp_path / "img.pgm"
+        save_pgm(image, path)
+        back = load_pgm(path)
+        assert back.shape == image.shape
+        assert np.allclose(back, image, atol=1 / 255)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_text("not a pgm")
+        with pytest.raises(ValueError):
+            load_pgm(path)
+
+    def test_load_rejects_truncated(self, tmp_path):
+        path = tmp_path / "trunc.pgm"
+        path.write_text("P2\n3 2\n255\n0 1 2\n")
+        with pytest.raises(ValueError):
+            load_pgm(path)

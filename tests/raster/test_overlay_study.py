@@ -1,0 +1,60 @@
+"""Tests for the Fig. 1b overlay-distortion study."""
+
+import pytest
+
+from repro.raster import (
+    PATTERN_KINDS,
+    overlay_study,
+    pattern_distortion,
+)
+
+
+class TestPatternDistortion:
+    def test_zero_overlay_perfect(self):
+        for kind in PATTERN_KINDS:
+            d = pattern_distortion(kind, (0, 0))
+            assert d.distortion == 0.0
+
+    def test_horizontal_wire_tolerates_x_shift(self):
+        d = pattern_distortion("horizontal wire", (1, 0))
+        assert d.distortion < 0.3
+
+    def test_via_breaks_under_x_shift(self):
+        d = pattern_distortion("via", (1, 0))
+        assert d.distortion >= 0.5
+
+    def test_vertical_wire_breaks_under_x_shift(self):
+        d = pattern_distortion("vertical wire", (1, 0))
+        assert d.distortion >= 0.5
+
+    def test_bigger_overlay_no_better(self):
+        small = pattern_distortion("via", (1, 0)).distortion
+        large = pattern_distortion("via", (2, 0)).distortion
+        assert large >= small
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_distortion("diagonal wire", (1, 0))
+
+
+class TestOverlayStudy:
+    def test_full_grid(self):
+        rows = overlay_study(overlays=((1, 0), (0, 1)))
+        assert len(rows) == len(PATTERN_KINDS) * 2
+
+    def test_critical_patterns_always_worse(self):
+        """The Fig. 1b ordering holds for every overlay tried."""
+        overlays = ((1, 0), (2, 0), (1, 1))
+        rows = overlay_study(overlays=overlays)
+        for overlay in overlays:
+            h = next(
+                r.distortion
+                for r in rows
+                if r.pattern == "horizontal wire" and r.overlay == overlay
+            )
+            via = next(
+                r.distortion
+                for r in rows
+                if r.pattern == "via" and r.overlay == overlay
+            )
+            assert h < via

@@ -1,0 +1,149 @@
+"""Tests for rendering, dithering, overlay, and defect scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raster import (
+    DitherKernel,
+    Polygon,
+    apply_overlay,
+    boundary_error_pixels,
+    dither,
+    relative_pattern_error,
+    render,
+    short_polygon_experiment,
+)
+
+
+class TestPolygon:
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Polygon(2, 2, 2, 5)
+        with pytest.raises(ValueError):
+            Polygon(2, 5, 4, 3)
+
+    def test_area(self):
+        assert Polygon(0, 0, 3, 2).area == 6.0
+
+
+class TestRender:
+    def test_full_pixel_coverage(self):
+        img = render([Polygon(1, 1, 3, 2)], 5, 4)
+        assert img[1, 1] == 1.0 and img[1, 2] == 1.0
+        assert img[0, 1] == 0.0
+        assert img.sum() == pytest.approx(2.0)
+
+    def test_fractional_coverage(self):
+        img = render([Polygon(0.5, 0.0, 1.5, 1.0)], 3, 1)
+        assert img[0, 0] == pytest.approx(0.5)
+        assert img[0, 1] == pytest.approx(0.5)
+
+    def test_overlap_saturates(self):
+        img = render([Polygon(0, 0, 2, 2), Polygon(0, 0, 2, 2)], 3, 3)
+        assert img.max() == 1.0
+
+    def test_outside_clipped(self):
+        img = render([Polygon(-5, -5, 100, 100)], 4, 4)
+        assert img.shape == (4, 4)
+        assert np.all(img == 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(0.1, 6), st.floats(0.1, 6),
+        st.floats(0.1, 5), st.floats(0.1, 5),
+    )
+    def test_total_intensity_equals_area(self, x0, y0, w, h):
+        poly = Polygon(x0, y0, x0 + w, y0 + h)
+        img = render([poly], 16, 16)
+        assert img.sum() == pytest.approx(poly.area, rel=1e-9)
+
+
+class TestDither:
+    def test_binary_output(self):
+        gray = np.random.default_rng(0).random((8, 8))
+        for kernel in DitherKernel:
+            out = dither(gray, kernel)
+            assert set(np.unique(out)) <= {0, 1}
+
+    def test_solid_regions_unchanged(self):
+        gray = np.zeros((6, 6))
+        gray[2:4, 2:4] = 1.0
+        out = dither(gray)
+        assert np.array_equal(out, gray.astype(np.uint8))
+
+    def test_intensity_roughly_conserved(self):
+        """Error diffusion preserves total dose (up to edge losses)."""
+        gray = np.full((20, 20), 0.5)
+        out = dither(gray)
+        assert out.sum() == pytest.approx(gray.sum(), rel=0.15)
+
+    def test_gray_edges_create_irregular_pixels(self):
+        # A half-covered column of pixels dithers to an alternating
+        # pattern: some pixels disagree with naive thresholding.
+        gray = np.zeros((10, 10))
+        gray[:, 4] = 0.45
+        out = dither(gray)
+        assert boundary_error_pixels(out, gray) > 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            dither(np.zeros(5))
+
+
+class TestOverlay:
+    def test_shift_right_stripe(self):
+        img = np.zeros((4, 8), dtype=np.uint8)
+        img[1, :] = 1  # a horizontal wire across the whole width
+        shifted = apply_overlay(img, stitch_x=4, dx=0, dy=1)
+        assert shifted[1, 2] == 1  # left stripe untouched
+        assert shifted[1, 5] == 0
+        assert shifted[2, 5] == 1  # right stripe moved down
+
+    def test_horizontal_wire_tolerates_x_shift(self):
+        """The Fig. 1b claim: horizontal wires survive overlay in x."""
+        img = np.zeros((4, 8), dtype=np.uint8)
+        img[1, :] = 1
+        shifted = apply_overlay(img, stitch_x=4, dx=1, dy=0)
+        # The wire is still continuous (row 1 connected across line).
+        assert shifted[1, 3] == 1 and shifted[1, 5] == 1
+
+    def test_vertical_wire_breaks_under_x_shift(self):
+        img = np.zeros((6, 8), dtype=np.uint8)
+        img[:, 4] = 1  # vertical wire exactly on the line
+        shifted = apply_overlay(img, stitch_x=4, dx=1, dy=0)
+        # The written wire half moved off its track.
+        assert shifted[0, 4] == 0
+        assert shifted[0, 5] == 1
+
+
+class TestDefects:
+    def test_relative_error_larger_for_shorter_stub(self):
+        """The Fig. 4 effect: short polygons distort more."""
+        short = short_polygon_experiment(1.5)
+        long = short_polygon_experiment(12)
+        assert short.relative_error > long.relative_error
+
+    def test_monotone_trend_over_lengths(self):
+        errors = [
+            short_polygon_experiment(length).relative_error
+            for length in (1.5, 3, 6, 12)
+        ]
+        assert errors[0] == max(errors)
+        assert errors[-1] == min(errors)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            short_polygon_experiment(0)
+
+    def test_relative_error_bounds(self):
+        score = short_polygon_experiment(4)
+        assert 0.0 <= score.relative_error < 2.0
+
+    def test_perfect_pattern_scores_zero(self):
+        # An exactly pixel-aligned rectangle dithers losslessly.
+        poly = Polygon(2, 2, 6, 4)
+        gray = render([poly], 10, 10)
+        binary = dither(gray)
+        assert relative_pattern_error(binary, poly) == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the MEBL throughput model."""
+
+import pytest
+
+from repro.raster import (
+    WriterConfig,
+    beams_for_target,
+    estimate_throughput,
+)
+
+CONFIG = WriterConfig(pixel_rate_hz=1e9, stripe_width_pixels=1000)
+LAYOUT = dict(layout_width_pixels=10_000, layout_height_pixels=10_000)
+
+
+class TestWriterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriterConfig(pixel_rate_hz=0)
+        with pytest.raises(ValueError):
+            WriterConfig(pixel_rate_hz=1e9, num_beams=0)
+        with pytest.raises(ValueError):
+            WriterConfig(pixel_rate_hz=1e9, stripe_width_pixels=0)
+
+
+class TestEstimate:
+    def test_stripe_and_stitch_counts(self):
+        est = estimate_throughput(CONFIG, **LAYOUT)
+        assert est.num_stripes == 10
+        assert est.num_stitching_lines == 9
+
+    def test_single_beam_slow(self):
+        est = estimate_throughput(CONFIG, **LAYOUT)
+        assert est.wafers_per_hour < 100
+
+    def test_more_beams_faster(self):
+        one = estimate_throughput(CONFIG, **LAYOUT)
+        many = estimate_throughput(
+            WriterConfig(pixel_rate_hz=1e9, stripe_width_pixels=1000,
+                         num_beams=10),
+            **LAYOUT,
+        )
+        assert many.write_time_s < one.write_time_s
+        assert many.wafers_per_hour > one.wafers_per_hour
+
+    def test_beams_beyond_stripes_saturate(self):
+        ten = estimate_throughput(
+            WriterConfig(pixel_rate_hz=1e9, stripe_width_pixels=1000,
+                         num_beams=10),
+            **LAYOUT,
+        )
+        hundred = estimate_throughput(
+            WriterConfig(pixel_rate_hz=1e9, stripe_width_pixels=1000,
+                         num_beams=100),
+            **LAYOUT,
+        )
+        assert hundred.write_time_s == ten.write_time_s
+
+    def test_invalid_layout(self):
+        with pytest.raises(ValueError):
+            estimate_throughput(CONFIG, 0, 100)
+
+
+class TestBeamsForTarget:
+    def test_finds_minimum_power_of_two(self):
+        beams = beams_for_target(CONFIG, target_wafers_per_hour=10, **LAYOUT)
+        est = estimate_throughput(
+            WriterConfig(pixel_rate_hz=1e9, stripe_width_pixels=1000,
+                         num_beams=beams),
+            **LAYOUT,
+        )
+        assert est.wafers_per_hour >= 10
+
+    def test_unreachable_target_raises(self):
+        config = WriterConfig(
+            pixel_rate_hz=1e9, stripe_width_pixels=1000, overhead_s=3600
+        )
+        with pytest.raises(ValueError):
+            beams_for_target(config, target_wafers_per_hour=10, **LAYOUT)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            beams_for_target(CONFIG, target_wafers_per_hour=0, **LAYOUT)

@@ -1,0 +1,61 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.reporting import comparison_row, format_cell, format_table
+
+
+class TestFormatCell:
+    def test_none_is_na(self):
+        assert format_cell(None) == "NA"
+
+    def test_float_rounding(self):
+        assert format_cell(3.14159, decimals=2) == "3.14"
+
+    def test_int_plain(self):
+        assert format_cell(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rows = [
+            {"circuit": "S5378", "sp": 351},
+            {"circuit": "S38584", "sp": 3221},
+        ]
+        table = format_table(rows, title="Table III")
+        lines = table.splitlines()
+        assert lines[0] == "Table III"
+        assert "circuit" in lines[1] and "sp" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all body lines equal width
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        table = format_table(rows, columns=["c", "a"])
+        header = table.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty(self):
+        assert format_table([], title="t") == "t"
+
+
+class TestComparisonRow:
+    def test_ratio_of_sums(self):
+        ours = [{"name": "x", "sp": 2}, {"name": "y", "sp": 4}]
+        base = [{"name": "x", "sp": 100}, {"name": "y", "sp": 100}]
+        row = comparison_row(ours, base, ["name", "sp"], "name")
+        assert row["name"] == "Comp."
+        assert row["sp"] == pytest.approx(0.03)
+
+    def test_zero_reference_is_none(self):
+        ours = [{"name": "x", "vv": 5}]
+        base = [{"name": "x", "vv": 0}]
+        row = comparison_row(ours, base, ["name", "vv"], "name")
+        assert row["vv"] is None
+
+    def test_missing_values_skipped(self):
+        ours = [{"name": "x", "cpu": None}, {"name": "y", "cpu": 2.0}]
+        base = [{"name": "x", "cpu": 1.0}, {"name": "y", "cpu": 1.0}]
+        row = comparison_row(ours, base, ["name", "cpu"], "name")
+        assert row["cpu"] == pytest.approx(1.0)

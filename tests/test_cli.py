@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_route_defaults(self):
+        args = build_parser().parse_args(["route", "S5378"])
+        assert args.circuit == "S5378"
+        assert args.scale == 0.05
+        assert not args.baseline
+
+
+class TestCommands:
+    def test_circuits(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "S38417" in out and "RISC1" in out
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["route", "bogus"])
+
+    def test_route_small(self, capsys, tmp_path):
+        svg = tmp_path / "out.svg"
+        report = tmp_path / "report.json"
+        snapshot = tmp_path / "design.json"
+        code = main([
+            "route", "S9234", "--scale", "0.02",
+            "--svg", str(svg), "--report", str(report),
+            "--save-design", str(snapshot),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S9234" in out and "rout_pct" in out
+        assert svg.read_text().startswith("<svg")
+        assert report.exists() and snapshot.exists()
+
+    def test_route_baseline_flag(self, capsys):
+        assert main(["route", "S9234", "--scale", "0.02", "--baseline"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "S9234", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "stitch-aware" in out and "baseline" in out

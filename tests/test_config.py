@@ -1,0 +1,68 @@
+"""Tests for RouterConfig validation and benchmark scaling."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, RouterConfig, benchmark_scale
+
+
+class TestRouterConfig:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_CONFIG.stitch_spacing == 15
+        assert DEFAULT_CONFIG.epsilon == 1
+        assert DEFAULT_CONFIG.escape_width == 4
+        assert (DEFAULT_CONFIG.alpha, DEFAULT_CONFIG.beta, DEFAULT_CONFIG.gamma) == (
+            1.0,
+            10.0,
+            5.0,
+        )
+
+    def test_beta_much_larger_than_gamma(self):
+        """Section IV: beta must dominate gamma."""
+        assert DEFAULT_CONFIG.beta > DEFAULT_CONFIG.gamma
+
+    def test_tiny_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(stitch_spacing=2)
+
+    def test_overlapping_unfriendly_regions_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(stitch_spacing=5, epsilon=2)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(alpha=-1.0)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(epsilon=-1)
+
+    def test_tiny_tile_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(tile_size=1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.alpha = 2.0  # type: ignore[misc]
+
+
+class TestBenchmarkScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert benchmark_scale(default=0.2) == 0.2
+
+    def test_full_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.setenv("REPRO_SCALE", "0.3")
+        assert benchmark_scale() == 1.0
+
+    def test_explicit_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert benchmark_scale() == 0.25
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "1.5")
+        with pytest.raises(ValueError):
+            benchmark_scale()

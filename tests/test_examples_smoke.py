@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation; a broken one is a broken promise.  The
+heavy routing examples run at tiny scales through their module mains.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST = [
+    "rasterization_defects.py",
+    "layer_assignment_study.py",
+    "throughput_study.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_example_runs(script):
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip()
+
+
+def test_quickstart_runs():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "stitch-aware framework" in out.stdout
+
+
+def test_raster_roundtrip_runs(tmp_path):
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "raster_roundtrip.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=str(tmp_path),
+    )
+    assert out.returncode == 0, out.stderr
+    assert "Rasterized defect scores" in out.stdout
+    assert (tmp_path / "routed_window_gray.pgm").exists()
+
+
+def test_mcnc_full_flow_tiny(tmp_path):
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "mcnc_full_flow.py"), "0.01"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=str(tmp_path),
+    )
+    assert out.returncode == 0, out.stderr
+    assert (tmp_path / "s38417_routing.svg").exists()

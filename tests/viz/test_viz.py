@@ -1,0 +1,70 @@
+"""Tests for SVG and ASCII rendering."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.viz import layer_color, render_layer_ascii, render_routing_svg
+from tests.detailed.test_router import route_design
+from tests.globalroute.test_router import design_with_nets, two_pin
+
+
+@pytest.fixture(scope="module")
+def routed():
+    nets = [
+        two_pin("a", (1, 1), (40, 30)),
+        two_pin("b", (10, 5), (50, 35)),
+    ]
+    design = design_with_nets(nets)
+    result, _ = route_design(design)
+    return design, result
+
+
+class TestSvg:
+    def test_valid_svg_document(self, routed):
+        _, result = routed
+        svg = render_routing_svg(result)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<svg") == 1
+
+    def test_contains_stitch_lines_and_wires(self, routed):
+        _, result = routed
+        svg = render_routing_svg(result)
+        assert "stroke-dasharray" in svg  # stitch lines
+        assert layer_color(1) in svg  # horizontal wires
+        assert "circle" in svg  # pins
+
+    def test_window_cropping_reduces_size(self, routed):
+        _, result = routed
+        full = render_routing_svg(result)
+        local = render_routing_svg(result, window=Rect(0, 0, 14, 14))
+        assert len(local) < len(full)
+        assert 'width="120"' in local  # 15 cells * 8 px
+
+    def test_layer_color_cycles(self):
+        assert layer_color(1) == layer_color(7)
+        assert layer_color(1) != layer_color(2)
+
+
+class TestAscii:
+    def test_dimensions(self, routed):
+        design, result = routed
+        art = render_layer_ascii(result, layer=1, window=Rect(0, 0, 19, 9))
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_stitch_lines_drawn(self, routed):
+        design, result = routed
+        art = render_layer_ascii(result, layer=1)
+        assert "|" in art
+
+    def test_pins_on_their_layer(self, routed):
+        design, result = routed
+        art1 = render_layer_ascii(result, layer=1)
+        assert "o" in art1
+
+    def test_wires_present(self, routed):
+        _, result = routed
+        art = render_layer_ascii(result, layer=1)
+        assert "-" in art or "x" in art
