@@ -20,6 +20,7 @@ quality, and the ILP pays a large runtime factor.
 import time
 
 from repro.assign import TrackMethod, assign_layers, assign_tracks, extract_panels
+from repro.config import RouterConfig
 from repro.core import StitchAwareRouter
 from repro.globalroute import GlobalRouter
 from repro.reporting import format_table
@@ -82,7 +83,10 @@ def run():
                 row.update({f"{tag}_rout": None, f"{tag}_sp": None,
                             f"{tag}_cpu": None})
                 continue
-            report = StitchAwareRouter(track_method=method).route(design).report
+            router = StitchAwareRouter(
+                config=RouterConfig(track_method=method)
+            )
+            report = router.route(design).report
             row.update(
                 {
                     f"{tag}_rout": 100 * report.routability,

@@ -8,6 +8,7 @@ stitch-aware detailed router removes ~80% of the remaining short
 polygons at <=0.2% routability cost.
 """
 
+from repro.config import RouterConfig
 from repro.core import StitchAwareRouter
 from repro.reporting import format_table
 
@@ -23,8 +24,12 @@ COLUMNS = [
 def run():
     rows = []
     for design in full_suite():
-        without = StitchAwareRouter(stitch_aware_detail=False).route(design)
-        with_stitch = StitchAwareRouter(stitch_aware_detail=True).route(design)
+        without = StitchAwareRouter(
+            config=RouterConfig(stitch_aware_detail=False)
+        ).route(design)
+        with_stitch = StitchAwareRouter(
+            config=RouterConfig(stitch_aware_detail=True)
+        ).route(design)
         rows.append(
             {
                 "circuit": design.name,

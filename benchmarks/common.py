@@ -9,6 +9,7 @@ keeps a full benchmark run in the tens of minutes on a laptop.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import Dict, List
@@ -21,6 +22,7 @@ from repro.benchmarks_gen import (
 )
 from repro.config import benchmark_scale
 from repro.layout import Design
+from repro.observe import RunTrace
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -57,4 +59,19 @@ def save_result(name: str, text: str) -> pathlib.Path:
     print()
     print(text)
     print(f"[saved to {path}]")
+    return path
+
+
+def save_bench_json(name: str, traces: Dict[str, RunTrace]) -> pathlib.Path:
+    """Persist per-run traces as ``BENCH_<name>.json``.
+
+    One document per benchmark, keyed ``<circuit>/<router-label>``, each
+    value a full :class:`RunTrace` dict — the per-stage span/counter
+    data perf PRs regress against.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    payload = {label: trace.to_dict() for label, trace in traces.items()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[traces saved to {path}]")
     return path

@@ -1,0 +1,16 @@
+"""Make ``repro`` importable when an example runs as a plain script.
+
+The examples are meant to run as ``python examples/<name>.py`` from
+anywhere — including test harnesses that copy outputs into a temporary
+working directory — without requiring an installed package or an
+absolute ``PYTHONPATH``.  Python always puts the script's own directory
+on ``sys.path``, so every example does ``import _bootstrap`` first and
+this module pins the repository's ``src/`` directory onto the path.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -8,6 +8,8 @@ work to eliminate the fixed-pin via violations.
 Run:  python examples/congestion_and_placement.py
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 from repro import StitchAwareRouter
 from repro.benchmarks_gen import mcnc_stress_design
 from repro.eval import (

@@ -8,6 +8,8 @@ magenta circles) and ``dogleg_after.svg``.
 Run:  python examples/dogleg_closeup.py
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 from repro import BaselineRouter, StitchAwareRouter
 from repro.benchmarks_gen import mcnc_design
 from repro.detailed.wiring import short_polygon_sites, trim_dangling

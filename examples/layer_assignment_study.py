@@ -8,6 +8,8 @@ for 2-5 available layers (Table VI).
 Run:  python examples/layer_assignment_study.py
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 from repro.algorithms import coloring_cost
 from repro.assign import (
     build_conflict_graph,

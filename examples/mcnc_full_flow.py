@@ -8,6 +8,8 @@ routing view corresponding to Fig. 15 of the paper.
 Run:  python examples/mcnc_full_flow.py [scale]
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 import sys
 import time
 

@@ -7,6 +7,8 @@ of the lowest metal layer.
 Run:  python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 from repro import BaselineRouter, RouterConfig, StitchAwareRouter
 from repro.geometry import Point, Rect
 from repro.layout import Design, Net, Netlist, Pin, Technology

@@ -9,6 +9,8 @@ can look at the dithered result.
 Run:  python examples/raster_roundtrip.py
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 from repro import BaselineRouter, StitchAwareRouter
 from repro.benchmarks_gen import mcnc_design
 from repro.geometry import Rect

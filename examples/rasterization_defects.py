@@ -13,6 +13,8 @@ constraints exist:
 Run:  python examples/rasterization_defects.py
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 import numpy as np
 
 from repro.raster import (

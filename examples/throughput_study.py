@@ -8,6 +8,8 @@ about.
 Run:  python examples/throughput_study.py
 """
 
+import _bootstrap  # noqa: F401  (repo-local import path setup)
+
 from repro.raster import WriterConfig, beams_for_target, estimate_throughput
 from repro.reporting import format_table
 

@@ -15,18 +15,33 @@ Public API tour:
 * :mod:`repro.raster` — the MEBL data-preparation substrate (render,
   dither, overlay, defect scoring) behind Figs. 3-4.
 * :mod:`repro.viz` — SVG / ASCII views of routed layouts (Figs. 15-16).
+* :mod:`repro.observe` — the tracing/metrics subsystem; every routing
+  run yields a :class:`repro.observe.RunTrace` of per-stage spans and
+  counters with a stable JSON schema.
 """
 
-from .config import DEFAULT_CONFIG, RouterConfig, benchmark_scale
+from .config import (
+    DEFAULT_CONFIG,
+    ColoringMethod,
+    RouterConfig,
+    TrackMethod,
+    benchmark_scale,
+)
 from .core import BaselineRouter, FlowResult, StitchAwareRouter
+from .observe import RunTrace, Span, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BaselineRouter",
+    "ColoringMethod",
     "DEFAULT_CONFIG",
     "FlowResult",
     "RouterConfig",
+    "RunTrace",
+    "Span",
     "StitchAwareRouter",
+    "TrackMethod",
+    "Tracer",
     "benchmark_scale",
 ]

@@ -13,7 +13,7 @@ heuristic (Section III-B).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Interval, max_overlap_density
 from .mincostflow import MinCostFlow
@@ -23,6 +23,7 @@ def max_weight_k_colorable(
     intervals: Sequence[Interval],
     weights: Sequence[float],
     k: int,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[int], Dict[int, int]]:
     """Select a max-weight subset with overlap density <= ``k``.
 
@@ -31,6 +32,8 @@ def max_weight_k_colorable(
             as overlap, matching the segment conflict graph).
         weights: one non-negative weight per interval.
         k: number of colors (routing layers) available.
+        stats: optional accumulator; gains ``flow_augmentations`` and
+            ``flow_nodes`` from the underlying min-cost flow.
 
     Returns:
         ``(selected, colors)`` — the selected interval indices in input
@@ -63,6 +66,11 @@ def max_weight_k_colorable(
 
     flow, _ = net.min_cost_flow(("x", first), ("x", last), max_flow=k)
     assert flow == k, "spine edges guarantee k units can always flow"
+    if stats is not None:
+        stats["flow_augmentations"] = (
+            stats.get("flow_augmentations", 0) + net.augmentations
+        )
+        stats["flow_nodes"] = stats.get("flow_nodes", 0) + net.num_nodes
 
     selected = [
         idx for idx, eid in enumerate(edge_ids) if net.flow_on(eid) > 0.5

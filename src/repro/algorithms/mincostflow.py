@@ -28,6 +28,9 @@ class MinCostFlow:
         self._adj: List[List[int]] = []
         self._initial_cap: List[float] = []
         self._has_negative = False
+        #: Augmenting paths pushed by :meth:`min_cost_flow` so far — the
+        #: observable unit of work of the successive-shortest-path loop.
+        self.augmentations = 0
 
     def node(self, name: Hashable) -> int:
         """Index of ``name``, creating the node if new."""
@@ -109,6 +112,7 @@ class MinCostFlow:
                 total_cost += push * self._cost[eid]
                 node = self._to[eid ^ 1]
             flow_sent += push
+            self.augmentations += 1
         return flow_sent, total_cost
 
     def _dijkstra(

@@ -11,7 +11,7 @@ fusing two groups is the total conflict edge weight between them.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..algorithms import hungarian, max_weight_k_colorable
 from ..geometry import Interval
@@ -23,6 +23,7 @@ def flow_kcoloring(
     spans: Dict[int, Interval],
     edges: List[Edge],
     k: int,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Dict[int, int]:
     """k-color a segment conflict graph by iterated max-weight extraction.
 
@@ -32,6 +33,8 @@ def flow_kcoloring(
             the interval graph of these spans).
         edges: weighted conflict edges.
         k: number of available layers (colors).
+        stats: optional accumulator for extraction-round and min-cost
+            flow work counters (``flow_rounds``, ``flow_augmentations``).
 
     Returns:
         A color in ``range(k)`` for every vertex.
@@ -56,7 +59,11 @@ def flow_kcoloring(
         intervals = [spans[v] for v in ordered]
         # Strictly positive weights keep zero-conflict vertices selectable.
         weights = [weights_map[v] + 1e-6 for v in ordered]
-        selected_pos, colors_pos = max_weight_k_colorable(intervals, weights, k)
+        if stats is not None:
+            stats["flow_rounds"] = stats.get("flow_rounds", 0) + 1
+        selected_pos, colors_pos = max_weight_k_colorable(
+            intervals, weights, k, stats=stats
+        )
         if not selected_pos:
             # No interval fits (cannot happen: a single interval is
             # always 1-colorable), guard against infinite loops anyway.

@@ -10,23 +10,17 @@ ordering adopted from [4].
 from __future__ import annotations
 
 import dataclasses
-import enum
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..algorithms import coloring_cost
+from ..config import ColoringMethod
 from ..layout import Technology
+from ..observe import Tracer, ensure
 from .conflict_graph import build_conflict_graph
 from .flow_coloring import flow_kcoloring
 from .mst_coloring import mst_kcoloring
 from .panels import Panel
-
-
-class ColoringMethod(enum.Enum):
-    """Which max-cut k-coloring heuristic to use."""
-
-    MST = "mst"
-    FLOW = "flow"
 
 
 @dataclasses.dataclass
@@ -61,22 +55,37 @@ def assign_panel(
     k: int,
     method: ColoringMethod = ColoringMethod.FLOW,
     layers: List[int] | None = None,
+    stats: Optional[Dict[str, float]] = None,
 ) -> PanelAssignment:
-    """k-color one panel and map colors to the given layer ids."""
+    """k-color one panel and map colors to the given layer ids.
+
+    When ``stats`` is given, conflict-graph size and min-cost-flow
+    work counters are accumulated into it.
+    """
     if k < 1:
         raise ValueError("need at least one layer")
     layers = layers if layers is not None else list(range(k))
     if len(layers) != k:
         raise ValueError("layers list must have k entries")
     vertices, edges = build_conflict_graph(panel)
+    if stats is not None:
+        stats["conflict_vertices"] = (
+            stats.get("conflict_vertices", 0) + len(vertices)
+        )
+        stats["conflict_edges"] = stats.get("conflict_edges", 0) + len(edges)
+        stats["conflict_weight"] = stats.get("conflict_weight", 0.0) + sum(
+            w for _u, _v, w in edges
+        )
     if k == 1:
         colors = {v: 0 for v in vertices}
     elif method is ColoringMethod.MST:
         colors = mst_kcoloring(vertices, edges, k)
     else:
         spans = {seg.index: seg.span for seg in panel.segments}
-        colors = flow_kcoloring(vertices, spans, edges, k)
+        colors = flow_kcoloring(vertices, spans, edges, k, stats=stats)
     cost = coloring_cost(edges, colors)
+    if stats is not None:
+        stats["coloring_cost"] = stats.get("coloring_cost", 0.0) + cost
     ordered = order_groups_for_vias(panel, colors, k)
     layer_of_segment = {
         v: layers[ordered.index(colors[v])] for v in vertices
@@ -134,19 +143,46 @@ def assign_layers(
     rows: Dict[int, Panel],
     technology: Technology,
     method: ColoringMethod = ColoringMethod.FLOW,
+    tracer: Optional[Tracer] = None,
 ) -> LayerAssignment:
-    """Layer-assign every panel of a design."""
+    """Layer-assign every panel of a design.
+
+    Spans/counters recorded on ``tracer``: conflict-graph size, flow
+    augmentations, and the achieved max-cut weight (total conflict
+    weight minus the monochromatic coloring cost).
+    """
+    tracer = ensure(tracer)
     start = time.perf_counter()
     v_layers = technology.vertical_layers
     h_layers = technology.horizontal_layers
-    column_result = {
-        pos: assign_panel(panel, len(v_layers), method, layers=v_layers)
-        for pos, panel in columns.items()
-    }
-    row_result = {
-        pos: assign_panel(panel, len(h_layers), method, layers=h_layers)
-        for pos, panel in rows.items()
-    }
+    stats: Dict[str, float] = {}
+    with tracer.span("layer-assign") as span:
+        column_result = {
+            pos: assign_panel(
+                panel, len(v_layers), method, layers=v_layers, stats=stats
+            )
+            for pos, panel in columns.items()
+        }
+        row_result = {
+            pos: assign_panel(
+                panel, len(h_layers), method, layers=h_layers, stats=stats
+            )
+            for pos, panel in rows.items()
+        }
+        span.count("panels", len(columns) + len(rows))
+        for key in (
+            "conflict_vertices",
+            "conflict_edges",
+            "flow_augmentations",
+            "flow_rounds",
+        ):
+            if key in stats:
+                span.count(key, stats[key])
+        total_weight = stats.get("conflict_weight", 0.0)
+        cost = stats.get("coloring_cost", 0.0)
+        span.gauge("conflict_weight", total_weight)
+        span.gauge("coloring_cost", cost)
+        span.gauge("max_cut_weight", total_weight - cost)
     return LayerAssignment(
         columns=column_result,
         rows=row_result,

@@ -13,12 +13,13 @@ rip them up and route them directly (Section IV-A).
 from __future__ import annotations
 
 import dataclasses
-import enum
 import time
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..config import TrackMethod
 from ..globalroute import GlobalGraph
 from ..layout import Design, StitchingLines
+from ..observe import Tracer, ensure
 from .layer_assign import LayerAssignment
 from .panels import Panel, PanelSegment
 from .track_baseline import assign_tracks_baseline
@@ -29,14 +30,6 @@ from .track_ilp import assign_tracks_ilp
 #: Stitch-free line set used for row panels (y tracks are unaffected by
 #: vertical stitching lines).
 _NO_STITCHES = StitchingLines(())
-
-
-class TrackMethod(enum.Enum):
-    """Which column-panel track assignment algorithm to run."""
-
-    BASELINE = "baseline"
-    ILP = "ilp"
-    GRAPH = "graph"
 
 
 @dataclasses.dataclass
@@ -69,29 +62,49 @@ def assign_tracks(
     graph: GlobalGraph,
     layers: LayerAssignment,
     method: TrackMethod = TrackMethod.GRAPH,
+    tracer: Optional[Tracer] = None,
 ) -> DesignTrackAssignment:
-    """Track-assign every panel of a globally routed design."""
+    """Track-assign every panel of a globally routed design.
+
+    Counters recorded on ``tracer``: per-method model sizes (graph
+    constraint-graph nodes vs ILP variables), failed segments, and the
+    bad-end total the detailed router will order by.
+    """
     assert design.stitches is not None
+    tracer = ensure(tracer)
     start = time.perf_counter()
     columns: Dict[Tuple[int, int], TrackAssignmentResult] = {}
     rows: Dict[Tuple[int, int], TrackAssignmentResult] = {}
     failed_nets: Set[str] = set()
 
-    for pos, panel_assignment in layers.columns.items():
-        span = graph.tile_span((pos, 0))
-        xs = list(range(span.x_lo, span.x_hi + 1))
-        for layer, sub_panel in _split_by_layer(panel_assignment).items():
-            result = _run_column_method(method, sub_panel, xs, design.stitches)
-            columns[(pos, layer)] = result
-            failed_nets.update(_nets_of(sub_panel, result.failed))
+    with tracer.span("track-assign", method=method.value) as span:
+        for pos, panel_assignment in layers.columns.items():
+            tile_span = graph.tile_span((pos, 0))
+            xs = list(range(tile_span.x_lo, tile_span.x_hi + 1))
+            for layer, sub_panel in _split_by_layer(panel_assignment).items():
+                result = _run_column_method(
+                    method, sub_panel, xs, design.stitches
+                )
+                columns[(pos, layer)] = result
+                failed_nets.update(_nets_of(sub_panel, result.failed))
 
-    for pos, panel_assignment in layers.rows.items():
-        span = graph.tile_span((0, pos))
-        ys = list(range(span.y_lo, span.y_hi + 1))
-        for layer, sub_panel in _split_by_layer(panel_assignment).items():
-            result = assign_tracks_baseline(sub_panel, ys, _NO_STITCHES)
-            rows[(pos, layer)] = result
-            failed_nets.update(_nets_of(sub_panel, result.failed))
+        for pos, panel_assignment in layers.rows.items():
+            tile_span = graph.tile_span((0, pos))
+            ys = list(range(tile_span.y_lo, tile_span.y_hi + 1))
+            for layer, sub_panel in _split_by_layer(panel_assignment).items():
+                result = assign_tracks_baseline(sub_panel, ys, _NO_STITCHES)
+                rows[(pos, layer)] = result
+                failed_nets.update(_nets_of(sub_panel, result.failed))
+
+        for result in list(columns.values()) + list(rows.values()):
+            for key, value in result.stats.items():
+                span.count(key, value)
+            span.count("failed_segments", len(result.failed))
+        span.count(
+            "bad_ends", sum(r.num_bad_ends for r in columns.values())
+        )
+        span.gauge("column_problems", len(columns))
+        span.gauge("row_problems", len(rows))
 
     return DesignTrackAssignment(
         columns=columns,

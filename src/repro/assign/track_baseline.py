@@ -53,5 +53,9 @@ def assign_tracks_baseline(
         }
     bad = find_bad_ends(panel.segments, tracks, stitches)
     return TrackAssignmentResult(
-        panel=panel, tracks=tracks, failed=failed, bad_ends=bad
+        panel=panel,
+        tracks=tracks,
+        failed=failed,
+        bad_ends=bad,
+        stats={"track_baseline_segments": len(panel.segments)},
     )

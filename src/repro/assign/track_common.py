@@ -103,12 +103,16 @@ class TrackAssignmentResult:
             routed directly in detailed routing, Section IV-A).
         bad_ends: ``(segment index, tile row)`` pairs where a line end
             was left on a stitch-unfriendly track.
+        stats: per-method model-size counters (e.g. constraint-graph
+            node count for the graph assigner, variable count for the
+            ILP), aggregated into the flow trace by ``assign_tracks``.
     """
 
     panel: Panel
     tracks: Dict[int, Dict[int, int]]
     failed: List[int]
     bad_ends: List[Tuple[int, int]]
+    stats: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def num_bad_ends(self) -> int:

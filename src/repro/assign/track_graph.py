@@ -29,7 +29,6 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..algorithms import longest_path_lengths
-from ..geometry import Interval
 from ..layout import StitchingLines
 from .panels import Panel, PanelSegment
 from .track_common import (
@@ -70,8 +69,17 @@ def assign_tracks_graph(
         tracks.update(placed)
         failed.extend(region_failed)
     bad = find_bad_ends(panel.segments, tracks, stitches)
+    # Constraint-graph size: one node per (segment, row) interval —
+    # the quantity that scales the longest-path computations.
+    graph_nodes = sum(
+        seg.span.hi - seg.span.lo + 1 for seg in panel.segments
+    )
     return TrackAssignmentResult(
-        panel=panel, tracks=tracks, failed=failed, bad_ends=bad
+        panel=panel,
+        tracks=tracks,
+        failed=failed,
+        bad_ends=bad,
+        stats={"track_graph_nodes": graph_nodes},
     )
 
 

@@ -68,7 +68,10 @@ def assign_tracks_ilp(
             panel=panel, tracks={}, failed=failed, bad_ends=[]
         )
 
-    solution = _solve(live, usable, unfriendly, max_dogleg, exclude_bad=True)
+    stats: Dict[str, float] = {}
+    solution = _solve(
+        live, usable, unfriendly, max_dogleg, exclude_bad=True, stats=stats
+    )
     if solution is None:
         # Bad-end exclusions made the model infeasible: some bad ends
         # are unavoidable.  Re-solve with the exclusions turned into a
@@ -81,6 +84,7 @@ def assign_tracks_ilp(
             max_dogleg,
             exclude_bad=False,
             bad_end_penalty=1000.0,
+            stats=stats,
         )
     if solution is None:
         # Still infeasible (should not happen after the density guard);
@@ -90,10 +94,15 @@ def assign_tracks_ilp(
             tracks={},
             failed=failed + [seg.index for seg in live],
             bad_ends=[],
+            stats=stats,
         )
     bad = find_bad_ends(panel.segments, solution, stitches)
     return TrackAssignmentResult(
-        panel=panel, tracks=solution, failed=failed, bad_ends=bad
+        panel=panel,
+        tracks=solution,
+        failed=failed,
+        bad_ends=bad,
+        stats=stats,
     )
 
 
@@ -104,6 +113,7 @@ def _solve(
     max_dogleg: int,
     exclude_bad: bool,
     bad_end_penalty: float = 0.0,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Optional[Dict[int, Dict[int, int]]]:
     edges = _build_edges(
         segments, usable, unfriendly, max_dogleg, exclude_bad, bad_end_penalty
@@ -111,6 +121,10 @@ def _solve(
     if edges is None:
         return None
     num_vars = len(edges)
+    if stats is not None:
+        stats["track_ilp_variables"] = (
+            stats.get("track_ilp_variables", 0) + num_vars
+        )
     by_segment: Dict[int, List[int]] = {}
     for idx, edge in enumerate(edges):
         by_segment.setdefault(edge.segment, []).append(idx)

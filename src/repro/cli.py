@@ -66,6 +66,12 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.save_design:
         save_design(design, args.save_design)
         print(f"wrote {args.save_design}")
+    if args.profile:
+        assert flow.trace is not None
+        flow.trace.save(args.profile)
+        print(f"wrote {args.profile}")
+        for stage, seconds in flow.trace.stage_wall_seconds().items():
+            print(f"  {stage:<12s} {seconds:8.3f} s")
     return 0
 
 
@@ -76,10 +82,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ("baseline", BaselineRouter()),
         ("stitch-aware", StitchAwareRouter()),
     ):
-        report = router.route(design).report
+        flow = router.route(design)
+        report = flow.report
         row = report.row()
         row["circuit"] = f"{design.name} ({label})"
         rows.append(row)
+        if args.profile:
+            assert flow.trace is not None
+            path = f"{args.profile}_{label}.json"
+            flow.trace.save(path)
+            print(f"wrote {path}")
     print(format_table(rows, title=f"{design.name} @ scale {args.scale}"))
     base_sp, aware_sp = rows[0]["sp"], rows[1]["sp"]
     if base_sp:
@@ -106,11 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--svg", help="write the routing plot")
     route.add_argument("--report", help="write the JSON violation report")
     route.add_argument("--save-design", help="write the design snapshot")
+    route.add_argument(
+        "--profile",
+        nargs="?",
+        const="trace.json",
+        metavar="JSON",
+        help="write the per-stage trace (default: trace.json)",
+    )
     route.set_defaults(func=_cmd_route)
 
     compare = sub.add_parser("compare", help="baseline vs stitch-aware")
     compare.add_argument("circuit")
     compare.add_argument("--scale", type=float, default=0.05)
+    compare.add_argument(
+        "--profile",
+        nargs="?",
+        const="trace",
+        metavar="PREFIX",
+        help="write one trace per router as PREFIX_<label>.json "
+        "(default prefix: trace)",
+    )
     compare.set_defaults(func=_cmd_compare)
     return parser
 

@@ -18,12 +18,31 @@ routing pitch).
 from __future__ import annotations
 
 import dataclasses
+import enum
 import os
+
+
+class ColoringMethod(enum.Enum):
+    """Which max-cut k-coloring heuristic layer assignment uses."""
+
+    MST = "mst"
+    FLOW = "flow"
+
+
+class TrackMethod(enum.Enum):
+    """Which column-panel track assignment algorithm to run."""
+
+    BASELINE = "baseline"
+    ILP = "ilp"
+    GRAPH = "graph"
 
 
 @dataclasses.dataclass(frozen=True)
 class RouterConfig:
     """Parameters shared by every stage of the routing framework.
+
+    Geometry/cost attributes (used by the stages through
+    ``design.config``):
 
     Attributes:
         stitch_spacing: distance between two stitching lines, in pitches.
@@ -40,6 +59,20 @@ class RouterConfig:
         max_ripup_iterations: rip-up and re-route rounds for failed nets.
         detail_expansion_limit: A* node-expansion budget per net and
             attempt; keeps worst-case detailed routing bounded.
+
+    Stage-policy attributes (consumed by the router constructors; the
+    ablation switches of Tables IV and VIII):
+
+    Attributes:
+        track_method: which short-polygon-avoiding track assignment to
+            run (GRAPH by default; ILP reproduces the Table VII column
+            at the documented runtime cost).
+        coloring: layer-assignment coloring heuristic (FLOW = ours,
+            MST = the conventional baseline).
+        stitch_aware_global: include the vertex (line-end) congestion
+            term of Eqs. (2)–(3) in global routing.
+        stitch_aware_detail: include the beta/gamma costs and the
+            stitch-aware net ordering in detailed routing.
     """
 
     stitch_spacing: int = 15
@@ -51,8 +84,22 @@ class RouterConfig:
     gamma: float = 5.0
     max_ripup_iterations: int = 5
     detail_expansion_limit: int = 200_000
+    track_method: TrackMethod = TrackMethod.GRAPH
+    coloring: ColoringMethod = ColoringMethod.FLOW
+    stitch_aware_global: bool = True
+    stitch_aware_detail: bool = True
 
     def __post_init__(self) -> None:
+        # Accept the string forms of the policy enums (JSON round trips,
+        # CLI flags) and normalize to the enum members.
+        if isinstance(self.track_method, str):
+            object.__setattr__(
+                self, "track_method", TrackMethod(self.track_method)
+            )
+        if isinstance(self.coloring, str):
+            object.__setattr__(
+                self, "coloring", ColoringMethod(self.coloring)
+            )
         if self.stitch_spacing < 3:
             raise ValueError("stitch_spacing must be at least 3 pitches")
         if self.epsilon < 0:

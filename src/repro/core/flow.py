@@ -14,27 +14,43 @@ tracks are ripped up and routed directly in detailed routing), and
 detailed routing without the stitch costs — but with the same hard
 legality (wires only cross stitching lines in the x direction), so it
 also produces zero vertical routing violations.
+
+Both routers take a single :class:`~repro.config.RouterConfig` and an
+optional :class:`~repro.observe.Tracer`; every run produces a
+:class:`~repro.observe.RunTrace` with per-stage spans and counters,
+attached to both the :class:`FlowResult` and its report.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
+from typing import Optional
 
 from ..assign import (
-    ColoringMethod,
     DesignTrackAssignment,
     LayerAssignment,
-    TrackMethod,
     assign_layers,
     assign_tracks,
     extract_panels,
 )
+from ..config import ColoringMethod, RouterConfig, TrackMethod
 from ..detailed import DetailedResult, DetailedRouter
 from ..eval import RoutingReport, evaluate
-from ..globalroute import GlobalRouter, GlobalRoutingResult
+from ..globalroute import GlobalGraph, GlobalRouter, GlobalRoutingResult
 from ..layout import Design
 from ..multilevel import MultilevelScheme, TwoPassFramework
+from ..observe import RunTrace, Tracer, ensure
+
+#: Positional-argument order of the pre-``RouterConfig`` constructor,
+#: kept for the deprecated compatibility path.
+_LEGACY_FLAGS = (
+    "track_method",
+    "coloring",
+    "stitch_aware_global",
+    "stitch_aware_detail",
+)
 
 
 @dataclasses.dataclass
@@ -48,70 +64,158 @@ class FlowResult:
     detailed_result: DetailedResult
     report: RoutingReport
     cpu_seconds: float
+    #: Per-stage observability trace of this run.
+    trace: Optional[RunTrace] = None
 
 
 class StitchAwareRouter:
     """The proposed stitch-aware routing framework.
 
     Args:
-        track_method: which short-polygon-avoiding track assignment to
-            run (GRAPH by default; ILP reproduces the Table VII column
-            at the documented runtime cost).
-        coloring: layer-assignment coloring heuristic (FLOW = ours).
-        stitch_aware_global / stitch_aware_detail: ablation switches
-            for Tables IV and VIII.
+        config: the flow's knob set.  The routing-policy fields are
+            ``track_method`` (GRAPH by default; ILP reproduces the
+            Table VII column at the documented runtime cost),
+            ``coloring`` (FLOW = ours), and the ablation switches
+            ``stitch_aware_global`` / ``stitch_aware_detail`` for
+            Tables IV and VIII.
+
+    Passing those four flags directly to the constructor (positionally
+    or by keyword) is deprecated; they are folded into ``config`` with
+    a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
-        track_method: TrackMethod = TrackMethod.GRAPH,
-        coloring: ColoringMethod = ColoringMethod.FLOW,
-        stitch_aware_global: bool = True,
-        stitch_aware_detail: bool = True,
+        *legacy_args,
+        config: Optional[RouterConfig] = None,
+        **legacy_kwargs,
     ) -> None:
-        self.track_method = track_method
-        self.coloring = coloring
-        self.stitch_aware_global = stitch_aware_global
-        self.stitch_aware_detail = stitch_aware_detail
+        overrides = self._legacy_overrides(legacy_args, legacy_kwargs)
+        base = config if config is not None else RouterConfig()
+        if overrides:
+            base = dataclasses.replace(base, **overrides)
+        self.config = base
 
-    def route(self, design: Design) -> FlowResult:
-        """Run the full two-pass flow (Fig. 6) on ``design``."""
+    @staticmethod
+    def _legacy_overrides(args: tuple, kwargs: dict) -> dict:
+        """Map pre-``RouterConfig`` constructor flags onto config fields."""
+        if not args and not kwargs:
+            return {}
+        if len(args) > len(_LEGACY_FLAGS):
+            raise TypeError(
+                f"expected at most {len(_LEGACY_FLAGS)} positional "
+                f"arguments, got {len(args)}"
+            )
+        overrides = dict(zip(_LEGACY_FLAGS, args))
+        for name, value in kwargs.items():
+            if name not in _LEGACY_FLAGS:
+                raise TypeError(f"unexpected keyword argument {name!r}")
+            if name in overrides:
+                raise TypeError(f"got multiple values for {name!r}")
+            overrides[name] = value
+        warnings.warn(
+            "passing routing flags directly to the router is deprecated; "
+            "pass config=RouterConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return overrides
+
+    # -- config aliases (read-only views used throughout tests/docs) ---
+    @property
+    def track_method(self) -> TrackMethod:
+        """Track-assignment policy (from :attr:`config`)."""
+        return self.config.track_method
+
+    @property
+    def coloring(self) -> ColoringMethod:
+        """Layer-assignment coloring policy (from :attr:`config`)."""
+        return self.config.coloring
+
+    @property
+    def stitch_aware_global(self) -> bool:
+        """Global-routing ablation switch (from :attr:`config`)."""
+        return self.config.stitch_aware_global
+
+    @property
+    def stitch_aware_detail(self) -> bool:
+        """Detailed-routing ablation switch (from :attr:`config`)."""
+        return self.config.stitch_aware_detail
+
+    def route(
+        self, design: Design, *, tracer: Optional[Tracer] = None
+    ) -> FlowResult:
+        """Run the full two-pass flow (Fig. 6) on ``design``.
+
+        Args:
+            design: the routing instance.
+            tracer: observability sink; a fresh one is created when
+                omitted.  The finished :class:`RunTrace` is attached to
+                the result and its report either way.
+        """
+        tracer = ensure(tracer)
         start = time.perf_counter()
+        config = self.config
 
         def global_stage(d: Design, ordered) -> GlobalRoutingResult:
             # Pass 1: bottom-up global routing of local nets first; the
             # router re-derives the same bottom-up order internally.
-            return GlobalRouter(stitch_aware=self.stitch_aware_global).route(d)
+            return GlobalRouter(
+                stitch_aware=config.stitch_aware_global
+            ).route(d, tracer=tracer)
 
         def assign_stage(d: Design, global_result: GlobalRoutingResult):
             columns, rows = extract_panels(global_result)
             layers = assign_layers(
-                columns, rows, d.technology, method=self.coloring
+                columns,
+                rows,
+                d.technology,
+                method=config.coloring,
+                tracer=tracer,
             )
             tracks = assign_tracks(
-                d, global_result.graph, layers, method=self.track_method
+                d,
+                global_result.graph,
+                layers,
+                method=config.track_method,
+                tracer=tracer,
             )
             return layers, tracks
 
         def detail_stage(d: Design, global_result, assigned, ordered):
             _layers, tracks = assigned
             return DetailedRouter(
-                stitch_aware=self.stitch_aware_detail
-            ).route(d, global_result.graph, tracks, order_hint=ordered)
+                stitch_aware=config.stitch_aware_detail
+            ).route(
+                d,
+                global_result.graph,
+                tracks,
+                order_hint=ordered,
+                tracer=tracer,
+            )
 
         # The multilevel scheme needs the tile grid dimensions, which
-        # the global graph defines; probe them without routing.
-        from ..globalroute import GlobalGraph
-
-        probe = GlobalGraph(design)
-        scheme = MultilevelScheme(design, probe.nx, probe.ny)
+        # the global graph defines.
+        nx, ny = GlobalGraph.grid_shape(design)
+        scheme = MultilevelScheme(design, nx, ny)
         framework = TwoPassFramework(global_stage, assign_stage, detail_stage)
-        outcome = framework.run(design, scheme)
+        outcome = framework.run(design, scheme, tracer=tracer)
 
         layers, tracks = outcome.assign_result
         report = evaluate(outcome.detail_result)
         elapsed = time.perf_counter() - start
         report.cpu_seconds = elapsed
+        trace = tracer.finish(
+            router=type(self).__name__,
+            design=design.name,
+            meta={
+                "track_method": config.track_method.value,
+                "coloring": config.coloring.value,
+                "stitch_aware_global": config.stitch_aware_global,
+                "stitch_aware_detail": config.stitch_aware_detail,
+            },
+        )
+        report.trace = trace
         return FlowResult(
             design=design,
             global_result=outcome.global_result,
@@ -120,16 +224,25 @@ class StitchAwareRouter:
             detailed_result=outcome.detail_result,
             report=report,
             cpu_seconds=elapsed,
+            trace=trace,
         )
 
 
 class BaselineRouter(StitchAwareRouter):
-    """The conventional router compared against in Table III."""
+    """The conventional router compared against in Table III.
 
-    def __init__(self) -> None:
+    Accepts a ``config`` like :class:`StitchAwareRouter` but pins the
+    four policy flags to the baseline settings of Section IV-A.
+    """
+
+    def __init__(self, *, config: Optional[RouterConfig] = None) -> None:
+        base = config if config is not None else RouterConfig()
         super().__init__(
-            track_method=TrackMethod.BASELINE,
-            coloring=ColoringMethod.MST,
-            stitch_aware_global=False,
-            stitch_aware_detail=False,
+            config=dataclasses.replace(
+                base,
+                track_method=TrackMethod.BASELINE,
+                coloring=ColoringMethod.MST,
+                stitch_aware_global=False,
+                stitch_aware_detail=False,
+            )
         )

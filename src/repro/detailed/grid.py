@@ -55,6 +55,10 @@ class DetailedGrid:
         self._num_layers = self.tech.num_layers
         self._width = design.width
         self._height = design.height
+        #: Eq. (10) step costs computed so far (one per legal successor
+        #: returned by :meth:`neighbors`); read by the detailed router's
+        #: tracer flush.
+        self.cost_evaluations = 0
 
     # ------------------------------------------------------------------
     # Geometry / legality
@@ -188,6 +192,7 @@ class DetailedGrid:
             if self.stitch_aware and self._unfriendly[x]:
                 cost += config.beta  # via in stitch unfriendly region
             out.append((succ, cost))
+        self.cost_evaluations += len(out)
         return out
 
     def _passable(

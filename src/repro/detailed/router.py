@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..assign import DesignTrackAssignment
 from ..globalroute import GlobalGraph
 from ..layout import Design, Net
+from ..observe import Tracer, ensure
 from .grid import DetailedGrid, Node
 from .search import astar_connect, connection_window
 from .trunks import TrunkPiece, materialize_trunks
@@ -87,6 +88,8 @@ class DetailedRouter:
 
     def __init__(self, stitch_aware: bool = True) -> None:
         self.stitch_aware = stitch_aware
+        #: A* search counters flushed into the tracer at stage end.
+        self._search_stats: Dict[str, float] = {}
 
     def route(
         self,
@@ -94,6 +97,7 @@ class DetailedRouter:
         graph: GlobalGraph,
         assignment: DesignTrackAssignment,
         order_hint: Optional[Sequence[Net]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> DetailedResult:
         """Detail-route every net of ``design``.
 
@@ -103,46 +107,71 @@ class DetailedRouter:
             assignment: the track assignment whose trunks to realize.
             order_hint: bottom-up net order from the multilevel scheme;
                 defaults to HPWL order.
+            tracer: observability sink for spans and counters.
         """
+        tracer = ensure(tracer)
         start = time.perf_counter()
-        grid = DetailedGrid(design, stitch_aware=self.stitch_aware)
-        nets = list(order_hint) if order_hint is not None else sorted(
-            design.netlist, key=lambda n: (n.hpwl, n.name)
-        )
+        self._search_stats = {}
+        with tracer.span(
+            "detailed-route", nets=len(design.netlist)
+        ):
+            with tracer.span("grid-build"):
+                grid = DetailedGrid(design, stitch_aware=self.stitch_aware)
+                nets = list(order_hint) if order_hint is not None else sorted(
+                    design.netlist, key=lambda n: (n.hpwl, n.name)
+                )
+                # Fixed pins first: they own their nodes unconditionally.
+                for net in nets:
+                    for pin in net.pins:
+                        node = (pin.location.x, pin.location.y, pin.layer)
+                        if grid.owner(node) is None:
+                            grid.occupy(node, net.name)
+                            grid.mark_pin(node)
 
-        # Fixed pins first: they own their nodes unconditionally.
-        for net in nets:
-            for pin in net.pins:
-                node = (pin.location.x, pin.location.y, pin.layer)
-                if grid.owner(node) is None:
-                    grid.occupy(node, net.name)
-                    grid.mark_pin(node)
+            with tracer.span("trunks"):
+                trunk_pieces = materialize_trunks(
+                    design, grid, graph, assignment
+                )
+            order = self._net_order(nets, assignment)
 
-        trunk_pieces = materialize_trunks(design, grid, graph, assignment)
-        order = self._net_order(nets, assignment)
+            routed: Dict[str, RoutedNet] = {}
+            failed: List[str] = []
+            with tracer.span("first-pass"):
+                for net in order:
+                    ok, nodes, edges, victims = self._connect_net(
+                        design, grid, net, trunk_pieces
+                    )
+                    routed[net.name] = RoutedNet(
+                        net=net, nodes=nodes, edges=edges, routed=ok
+                    )
+                    tracer.count("nets_attempted")
+                    if not ok:
+                        failed.append(net.name)
+                    for victim in sorted(victims):
+                        if victim in routed and routed[victim].routed:
+                            routed[victim] = _strip_stolen(
+                                grid, routed[victim]
+                            )
+                            failed.append(victim)
+                        # Not-yet-routed victims lost trunk nodes only;
+                        # their own connection phase routes around the
+                        # gaps.
+                tracer.count("first_pass_failed", len(failed))
 
-        routed: Dict[str, RoutedNet] = {}
-        failed: List[str] = []
-        for net in order:
-            ok, nodes, edges, victims = self._connect_net(
-                design, grid, net, trunk_pieces
+            failed = self._ripup_loop(
+                design, grid, routed, failed, trunk_pieces, tracer
             )
-            routed[net.name] = RoutedNet(
-                net=net, nodes=nodes, edges=edges, routed=ok
-            )
-            if not ok:
-                failed.append(net.name)
-            for victim in sorted(victims):
-                if victim in routed and routed[victim].routed:
-                    routed[victim] = _strip_stolen(grid, routed[victim])
-                    failed.append(victim)
-                # Not-yet-routed victims lost trunk nodes only; their
-                # own connection phase routes around the gaps.
 
-        failed = self._ripup_loop(design, grid, routed, failed, trunk_pieces)
+            if self.stitch_aware:
+                with tracer.span("short-polygon-repair"):
+                    self._repair_short_polygons(
+                        design, grid, routed, trunk_pieces
+                    )
 
-        if self.stitch_aware:
-            self._repair_short_polygons(design, grid, routed, trunk_pieces)
+            for name, value in self._search_stats.items():
+                tracer.count(name, value)
+            tracer.count("stitch_cost_evaluations", grid.cost_evaluations)
+            tracer.count("failed_nets", len(failed))
 
         return DetailedResult(
             design=design,
@@ -159,6 +188,7 @@ class DetailedRouter:
         routed: Dict[str, "RoutedNet"],
         failed: List[str],
         trunk_pieces: Dict[str, List[TrunkPiece]],
+        tracer: Optional[Tracer] = None,
     ) -> List[str]:
         """Negotiated rip-up and re-route of failed nets.
 
@@ -168,90 +198,96 @@ class DetailedRouter:
         nets' wire at a penalty, and the victims it crosses are ripped
         and queued for re-route in the same fashion.
         """
-        for _ in range(design.config.max_ripup_iterations):
+        tracer = ensure(tracer)
+        for round_index in range(design.config.max_ripup_iterations):
             if not failed:
                 break
             queue = list(dict.fromkeys(failed))
             next_failed: List[str] = []
-            for name in queue:
-                record = routed[name]
-                pieces = trunk_pieces.get(name, [])
-                live_trunk = {
-                    node
-                    for piece in pieces
-                    for node in piece.nodes
-                    if grid.owner(node) == name
-                }
-                ok = False
-                nodes: Set[Node] = set()
-                edges: Set[Edge] = set()
-                salvage = _salvage_components(grid, record)
-                if salvage is not None:
-                    ok, nodes, edges, _ = self._connect_net(
-                        design,
-                        grid,
-                        record.net,
-                        {},
-                        direct=True,
-                        salvage=salvage,
-                        allow_negotiation=False,
-                    )
-                    if not ok:
-                        record = RoutedNet(
-                            net=record.net,
-                            nodes=nodes | record.nodes,
-                            edges=edges | record.edges,
-                            routed=False,
+            tracer.count("ripup_rounds")
+            with tracer.span(
+                "ripup-round", round=round_index, queued=len(queue)
+            ):
+                for name in queue:
+                    record = routed[name]
+                    pieces = trunk_pieces.get(name, [])
+                    live_trunk = {
+                        node
+                        for piece in pieces
+                        for node in piece.nodes
+                        if grid.owner(node) == name
+                    }
+                    ok = False
+                    nodes: Set[Node] = set()
+                    edges: Set[Edge] = set()
+                    salvage = _salvage_components(grid, record)
+                    if salvage is not None:
+                        ok, nodes, edges, _ = self._connect_net(
+                            design,
+                            grid,
+                            record.net,
+                            {},
+                            direct=True,
+                            salvage=salvage,
+                            allow_negotiation=False,
                         )
-                if not ok and live_trunk:
-                    # Release connections only; keep the plan's wire.
-                    keep = live_trunk | record.pin_nodes
-                    for node in record.nodes - keep:
-                        grid.release(node, name)
-                    for pin_node in record.pin_nodes:
-                        grid.occupy(pin_node, name)
-                    fragments = _piece_fragments(pieces, live_trunk)
-                    ok, nodes, edges, _ = self._connect_net(
-                        design,
-                        grid,
-                        record.net,
-                        {name: fragments},
-                        allow_negotiation=False,
-                    )
-                    if not ok:
-                        record = RoutedNet(
-                            net=record.net,
-                            nodes=nodes | live_trunk | record.pin_nodes,
-                            edges=edges,
-                            routed=False,
-                        )
-                if not ok:
-                    self._rip(grid, record)
-                    for node in live_trunk:
-                        grid.release(node, name)
-                    ok, nodes, edges, _ = self._connect_net(
-                        design, grid, record.net, {}, direct=True
-                    )
-                if not ok:
-                    ok, nodes, edges, victims = self._connect_net(
-                        design,
-                        grid,
-                        record.net,
-                        {},
-                        direct=True,
-                        foreign_penalty=30.0,
-                    )
-                    for victim in sorted(victims):
-                        if victim in routed:
-                            routed[victim] = _strip_stolen(
-                                grid, routed[victim]
+                        if not ok:
+                            record = RoutedNet(
+                                net=record.net,
+                                nodes=nodes | record.nodes,
+                                edges=edges | record.edges,
+                                routed=False,
                             )
-                            next_failed.append(victim)
-                routed[name] = RoutedNet(
-                    net=record.net, nodes=nodes, edges=edges, routed=ok
-                )
-                if not ok:
-                    next_failed.append(name)
+                    if not ok and live_trunk:
+                        # Release connections only; keep the plan's wire.
+                        keep = live_trunk | record.pin_nodes
+                        for node in record.nodes - keep:
+                            grid.release(node, name)
+                        for pin_node in record.pin_nodes:
+                            grid.occupy(pin_node, name)
+                        fragments = _piece_fragments(pieces, live_trunk)
+                        ok, nodes, edges, _ = self._connect_net(
+                            design,
+                            grid,
+                            record.net,
+                            {name: fragments},
+                            allow_negotiation=False,
+                        )
+                        if not ok:
+                            record = RoutedNet(
+                                net=record.net,
+                                nodes=nodes | live_trunk | record.pin_nodes,
+                                edges=edges,
+                                routed=False,
+                            )
+                    if not ok:
+                        self._rip(grid, record)
+                        for node in live_trunk:
+                            grid.release(node, name)
+                        ok, nodes, edges, _ = self._connect_net(
+                            design, grid, record.net, {}, direct=True
+                        )
+                    if not ok:
+                        ok, nodes, edges, victims = self._connect_net(
+                            design,
+                            grid,
+                            record.net,
+                            {},
+                            direct=True,
+                            foreign_penalty=30.0,
+                        )
+                        for victim in sorted(victims):
+                            if victim in routed:
+                                routed[victim] = _strip_stolen(
+                                    grid, routed[victim]
+                                )
+                                next_failed.append(victim)
+                    routed[name] = RoutedNet(
+                        net=record.net, nodes=nodes, edges=edges, routed=ok
+                    )
+                    if not ok:
+                        next_failed.append(name)
+                    tracer.count("reroutes")
             if set(next_failed) == set(failed):
                 break
             failed = list(dict.fromkeys(next_failed))
@@ -499,6 +535,7 @@ class DetailedRouter:
                         limit,
                         blocked=blocked,
                         foreign_penalty=penalty,
+                        stats=self._search_stats,
                     )
                     if path is not None:
                         break

@@ -23,6 +23,7 @@ def astar_connect(
     expansion_limit: int,
     blocked: Optional[Set[Node]] = None,
     foreign_penalty: Optional[float] = None,
+    stats: Optional[Dict[str, float]] = None,
 ) -> Optional[List[Node]]:
     """Cheapest path from any source to any target inside ``window``.
 
@@ -37,10 +38,14 @@ def astar_connect(
             short-polygon repair pass to forbid a line crossing).
         foreign_penalty: when set, other nets' non-pin wire becomes
             passable at this extra cost per node (negotiated rip-up).
+        stats: mutable counter dict; ``astar_searches`` and
+            ``astar_expansions`` are accumulated into it.
 
     Returns:
         The node path from a source to a target, or ``None``.
     """
+    if stats is not None:
+        stats["astar_searches"] = stats.get("astar_searches", 0) + 1
     if not sources or not targets:
         return None
     if sources & targets:
@@ -70,28 +75,35 @@ def astar_connect(
     ]
     heapq.heapify(heap)
     expansions = 0
-    while heap:
-        _, g, node = heapq.heappop(heap)
-        if g > best_g.get(node, float("inf")):
-            continue
-        if node in targets:
-            return _reconstruct(parent, sources, node)
-        expansions += 1
-        if expansions > expansion_limit:
-            return None
-        for succ, step in grid.neighbors(node, net, foreign_penalty):
-            if not (lo_x <= succ[0] <= hi_x and lo_y <= succ[1] <= hi_y):
+    try:
+        while heap:
+            _, g, node = heapq.heappop(heap)
+            if g > best_g.get(node, float("inf")):
                 continue
-            if blocked is not None and succ in blocked:
-                continue
-            candidate = g + step
-            if candidate < best_g.get(succ, float("inf")) - 1e-12:
-                best_g[succ] = candidate
-                parent[succ] = node
-                heapq.heappush(
-                    heap, (candidate + heuristic(succ), candidate, succ)
-                )
-    return None
+            if node in targets:
+                return _reconstruct(parent, sources, node)
+            expansions += 1
+            if expansions > expansion_limit:
+                return None
+            for succ, step in grid.neighbors(node, net, foreign_penalty):
+                if not (lo_x <= succ[0] <= hi_x and lo_y <= succ[1] <= hi_y):
+                    continue
+                if blocked is not None and succ in blocked:
+                    continue
+                candidate = g + step
+                if candidate < best_g.get(succ, float("inf")) - 1e-12:
+                    best_g[succ] = candidate
+                    parent[succ] = node
+                    heapq.heappush(
+                        heap, (candidate + heuristic(succ), candidate, succ)
+                    )
+        return None
+    finally:
+        # Hot loop: count locally, flush once per search.
+        if stats is not None:
+            stats["astar_expansions"] = (
+                stats.get("astar_expansions", 0) + expansions
+            )
 
 
 def _reconstruct(

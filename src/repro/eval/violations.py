@@ -20,11 +20,12 @@ paper's tables report:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..detailed import DetailedResult
 from ..geometry import Orientation, WireSegment
 from ..layout import Design
+from ..observe import RunTrace
 from .geometry import (
     Edge,
     edges_to_segments,
@@ -62,6 +63,9 @@ class RoutingReport:
     vias: int
     cpu_seconds: float
     nets: Dict[str, NetReport]
+    #: Per-stage observability trace of the run that produced this
+    #: report (attached by the flow; ``None`` for bare evaluations).
+    trace: Optional[RunTrace] = None
 
     @property
     def routability(self) -> float:

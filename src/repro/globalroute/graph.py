@@ -54,8 +54,7 @@ class GlobalGraph:
         self.design = design
         tile = design.config.tile_size
         self.tile_size = tile
-        self.nx = max(1, (design.width + tile - 1) // tile)
-        self.ny = max(1, (design.height + tile - 1) // tile)
+        self.nx, self.ny = self.grid_shape(design)
 
         tech = design.technology
         stitches = design.stitches
@@ -104,6 +103,19 @@ class GlobalGraph:
 
     # ------------------------------------------------------------------
     # Tile geometry
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid_shape(cls, design: Design) -> Tuple[int, int]:
+        """Tile grid dimensions ``(nx, ny)`` the graph would have.
+
+        Lets callers (the multilevel scheme in particular) size the
+        hierarchy without building the capacity arrays of a full graph.
+        """
+        tile = design.config.tile_size
+        nx = max(1, (design.width + tile - 1) // tile)
+        ny = max(1, (design.height + tile - 1) // tile)
+        return nx, ny
+
     # ------------------------------------------------------------------
     def tile_span(self, tile: Tile) -> TileSpan:
         """Grid extent covered by ``tile``."""

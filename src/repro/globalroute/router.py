@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms import steiner_tree_edges
 from ..layout import Design, Net
+from ..observe import Tracer, ensure
 from .cost import edge_cost_if_used, vertex_cost_if_used
 from .graph import GlobalGraph, Tile
 
@@ -102,37 +103,67 @@ class GlobalRouter:
         self.stitch_aware = stitch_aware
         self.ripup_rounds = ripup_rounds
         self.steiner = steiner
+        # Maze expansions of the current route() call; flushed into the
+        # tracer per phase (hot loops count locally, see _astar_in_window).
+        self._expansions = 0
 
     # ------------------------------------------------------------------
-    def route(self, design: Design) -> GlobalRoutingResult:
-        """Globally route every net of ``design``."""
+    def route(
+        self, design: Design, tracer: Optional[Tracer] = None
+    ) -> GlobalRoutingResult:
+        """Globally route every net of ``design``.
+
+        Spans recorded on ``tracer``: tile-graph build, the initial
+        bottom-up pass, and one span per negotiation round with the
+        edge/vertex overflow left after it (the Table IV quantities).
+        """
+        tracer = ensure(tracer)
         start = time.perf_counter()
-        graph = GlobalGraph(design)
-        order = self._bottom_up_order(design, graph)
+        with tracer.span("global-route") as stage:
+            with tracer.span("graph-build"):
+                graph = GlobalGraph(design)
+            order = self._bottom_up_order(design, graph)
 
-        routes: Dict[str, GlobalRoute] = {}
-        failed: List[str] = []
-        for net in order:
-            route = self._route_net(graph, net)
-            if route is None:
-                failed.append(net.name)
-            else:
-                routes[net.name] = route
+            routes: Dict[str, GlobalRoute] = {}
+            failed: List[str] = []
+            self._expansions = 0
+            with tracer.span("initial-pass") as span:
+                for net in order:
+                    route = self._route_net(graph, net)
+                    if route is None:
+                        failed.append(net.name)
+                    else:
+                        routes[net.name] = route
+                span.count("maze_expansions", self._expansions)
+                span.count("nets_routed", len(routes))
+                span.gauge("edge_overflow", graph.edge_overflow())
+                span.gauge("vertex_overflow", graph.total_vertex_overflow())
 
-        for _ in range(self.ripup_rounds):
-            victims = self._overflow_victims(graph, routes)
-            if not victims:
-                break
-            self._bump_history(graph)
-            for name in victims:
-                self._unplace(graph, routes.pop(name))
-            for name in victims:
-                net = design.netlist[name]
-                route = self._route_net(graph, net)
-                if route is None:
-                    failed.append(name)
-                else:
-                    routes[name] = route
+            for round_index in range(self.ripup_rounds):
+                victims = self._overflow_victims(graph, routes)
+                if not victims:
+                    break
+                with tracer.span(
+                    "negotiation-round", round=round_index
+                ) as span:
+                    self._expansions = 0
+                    self._bump_history(graph)
+                    for name in victims:
+                        self._unplace(graph, routes.pop(name))
+                    for name in victims:
+                        net = design.netlist[name]
+                        route = self._route_net(graph, net)
+                        if route is None:
+                            failed.append(name)
+                        else:
+                            routes[name] = route
+                    span.count("maze_expansions", self._expansions)
+                    span.count("ripup_victims", len(victims))
+                    span.gauge("edge_overflow", graph.edge_overflow())
+                    span.gauge(
+                        "vertex_overflow", graph.total_vertex_overflow()
+                    )
+            stage.count("failed_nets", len(failed))
 
         return GlobalRoutingResult(
             design=design,
@@ -261,10 +292,12 @@ class GlobalRouter:
             (heuristic(src), 0.0, start)
         ]
         goal: Optional[Tuple[Tile, str]] = None
+        expansions = 0
         while heap:
             _, g, state = heapq.heappop(heap)
             if g > best.get(state, float("inf")):
                 continue
+            expansions += 1
             tile, direction = state
             if tile == dst:
                 goal = state
@@ -293,6 +326,7 @@ class GlobalRouter:
                     heapq.heappush(
                         heap, (candidate + heuristic(succ), candidate, succ_state)
                     )
+        self._expansions += expansions
         if goal is None:
             return None
         return self._reconstruct(parent, start, goal)

@@ -18,6 +18,7 @@ from ..config import RouterConfig
 from ..eval import NetReport, RoutingReport
 from ..geometry import Point
 from ..layout import Design, Net, Netlist, Pin, StitchingLines, Technology
+from ..observe import RunTrace
 
 FORMAT_DESIGN = "repro-design"
 FORMAT_REPORT = "repro-report"
@@ -118,8 +119,14 @@ def load_design(path: PathLike) -> Design:
 # Routing report
 # ----------------------------------------------------------------------
 def report_to_dict(report: RoutingReport) -> dict:
-    """Plain-dict form of a violation report."""
-    return {
+    """Plain-dict form of a violation report.
+
+    The embedded ``trace`` key (present when the report came from a
+    traced flow) holds the :class:`RunTrace` document unchanged, so the
+    same span/counter schema applies inside reports and standalone
+    trace files.
+    """
+    out = {
         "format": FORMAT_REPORT,
         "version": VERSION,
         "design": report.design_name,
@@ -143,6 +150,9 @@ def report_to_dict(report: RoutingReport) -> dict:
             for name, nr in report.nets.items()
         },
     }
+    if report.trace is not None:
+        out["trace"] = report.trace.to_dict()
+    return out
 
 
 def report_from_dict(data: dict) -> RoutingReport:
@@ -172,6 +182,9 @@ def report_from_dict(data: dict) -> RoutingReport:
         vias=data["vias"],
         cpu_seconds=data["cpu_seconds"],
         nets=nets,
+        trace=(
+            RunTrace.from_dict(data["trace"]) if "trace" in data else None
+        ),
     )
 
 

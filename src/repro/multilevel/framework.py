@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Generic, List, TypeVar
+from typing import Callable, Generic, List, Optional, TypeVar
 
 from ..layout import Design, Net
+from ..observe import Tracer, ensure
 from .scheme import MultilevelScheme
 
 GlobalResultT = TypeVar("GlobalResultT")
@@ -62,22 +63,43 @@ class TwoPassFramework(Generic[GlobalResultT, AssignResultT, DetailResultT]):
         self._detail_stage = detail_stage
 
     def run(
-        self, design: Design, scheme: MultilevelScheme
+        self,
+        design: Design,
+        scheme: MultilevelScheme,
+        tracer: Optional[Tracer] = None,
     ) -> TwoPassOutcome[GlobalResultT, AssignResultT, DetailResultT]:
-        """Execute the two bottom-up passes on ``design``."""
-        start = time.perf_counter()
-        by_level = scheme.nets_by_level()
-        level_order = [
-            sorted(by_level.get(level, []), key=lambda n: (n.hpwl, n.name))
-            for level in range(scheme.num_levels)
-        ]
-        ordered = [net for level in level_order for net in level]
+        """Execute the two bottom-up passes on ``design``.
 
-        global_result = self._global_stage(design, ordered)
-        assign_result = self._assign_stage(design, global_result)
-        detail_result = self._detail_stage(
-            design, global_result, assign_result, ordered
-        )
+        Args:
+            design: the routing instance.
+            scheme: the coarsening hierarchy assigning nets to levels.
+            tracer: observability sink; each pass gets its own span, and
+                the injected stage callables run inside it (stages that
+                accept a tracer nest their own spans underneath).
+        """
+        tracer = ensure(tracer)
+        start = time.perf_counter()
+        with tracer.span("levelize", levels=scheme.num_levels):
+            by_level = scheme.nets_by_level()
+            level_order = [
+                sorted(
+                    by_level.get(level, []), key=lambda n: (n.hpwl, n.name)
+                )
+                for level in range(scheme.num_levels)
+            ]
+            ordered = [net for level in level_order for net in level]
+            for level, nets in enumerate(level_order):
+                with tracer.span("level", level=level, nets=len(nets)):
+                    pass
+
+        with tracer.span("pass1"):
+            global_result = self._global_stage(design, ordered)
+        with tracer.span("assign"):
+            assign_result = self._assign_stage(design, global_result)
+        with tracer.span("pass2"):
+            detail_result = self._detail_stage(
+                design, global_result, assign_result, ordered
+            )
         return TwoPassOutcome(
             global_result=global_result,
             assign_result=assign_result,

@@ -1,0 +1,24 @@
+"""Flow observability: staged tracing and metrics (spans + counters).
+
+Every stage of both routing flows reports timings and event counts
+here, so per-stage behavior (Tables III–VIII of the paper) is
+measurable instead of being folded into one CPU number.
+"""
+
+from .tracer import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    RunTrace,
+    Span,
+    Tracer,
+    ensure,
+)
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "RunTrace",
+    "Span",
+    "Tracer",
+    "ensure",
+]

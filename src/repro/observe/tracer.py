@@ -1,0 +1,310 @@
+"""Hierarchical tracing and metrics for the routing flow.
+
+The paper's evaluation (Tables III–VIII) is entirely per-stage: global
+routing overflow per negotiation round, layer-assignment coloring
+quality, track-assignment model sizes, detailed-routing rip-up
+iterations.  A single end-to-end CPU number cannot show any of that, so
+every stage of the framework reports into a :class:`Tracer`:
+
+* **spans** — nested timed sections (wall *and* CPU seconds), one per
+  stage / pass / negotiation round;
+* **counters** — monotonically accumulated event counts (maze
+  expansions, flow augmentations, rip-up victims, ...), attached to
+  the innermost open span;
+* **gauges** — point-in-time values (overflow after a round, coloring
+  cost of a panel), also attached to the innermost open span.
+
+:meth:`Tracer.finish` freezes everything into a :class:`RunTrace`, a
+plain-data object with a stable, versioned JSON schema so traces from
+different routers (or different commits) are directly diffable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+Number = Union[int, float]
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed section of a run, possibly containing child spans.
+
+    Attributes:
+        name: section label (e.g. ``"global"``, ``"negotiation-round"``).
+        started_at: start offset in seconds since the trace began.
+        wall_seconds: elapsed wall-clock time of the section.
+        cpu_seconds: process CPU time consumed by the section.
+        counters: event counts accumulated while this span was the
+            innermost open span.
+        gauges: point-in-time values recorded in this span.
+        children: nested spans, in start order.
+    """
+
+    name: str
+    started_at: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    counters: Dict[str, Number] = dataclasses.field(default_factory=dict)
+    gauges: Dict[str, Number] = dataclasses.field(default_factory=dict)
+    children: List["Span"] = dataclasses.field(default_factory=list)
+
+    def count(self, name: str, delta: Number = 1) -> None:
+        """Add ``delta`` to counter ``name`` of this span."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Record the point-in-time value ``name`` on this span."""
+        self.gauges[name] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (stable JSON schema)."""
+        out: dict = {
+            "name": self.name,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.gauges:
+            out["gauges"] = dict(self.gauges)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            started_at=data.get("started_at", 0.0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            cpu_seconds=data.get("cpu_seconds", 0.0),
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+
+@dataclasses.dataclass
+class RunTrace:
+    """Frozen trace of one routing run — the unit of perf comparison.
+
+    Attributes:
+        router: label of the flow that produced the trace (e.g.
+            ``"StitchAwareRouter"``).
+        design: name of the routed design.
+        wall_seconds: end-to-end wall time of the traced run.
+        cpu_seconds: end-to-end process CPU time of the traced run.
+        spans: top-level spans in start order.
+        counters: counts recorded outside any span.
+        meta: free-form context (scale, config knobs, ...).
+    """
+
+    router: str = ""
+    design: str = ""
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    spans: List[Span] = dataclasses.field(default_factory=list)
+    counters: Dict[str, Number] = dataclasses.field(default_factory=dict)
+    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    # -- queries -------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        """Every span of the trace, depth first."""
+        for span in self.spans:
+            yield from span.walk()
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span named ``name`` anywhere in the trace."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def aggregate_counters(self) -> Dict[str, Number]:
+        """All counters summed over the whole trace (spans + orphans)."""
+        totals: Dict[str, Number] = dict(self.counters)
+        for span in self.walk():
+            for name, value in span.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def stage_wall_seconds(self) -> Dict[str, float]:
+        """Wall time per top-level span name (summed over repeats)."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            out[span.name] = out.get(span.name, 0.0) + span.wall_seconds
+        return out
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form with a format/version tag."""
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "router": self.router,
+            "design": self.design,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "counters": dict(self.counters),
+            "meta": dict(self.meta),
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        if data.get("format") != TRACE_FORMAT:
+            raise ValueError(f"not a trace document: {data.get('format')!r}")
+        if data.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"unsupported trace version {data.get('version')!r}"
+            )
+        return cls(
+            router=data.get("router", ""),
+            design=data.get("design", ""),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            cpu_seconds=data.get("cpu_seconds", 0.0),
+            spans=[Span.from_dict(s) for s in data.get("spans", [])],
+            counters=dict(data.get("counters", {})),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text of the trace."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTrace":
+        """Parse a trace from its JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: PathLike) -> None:
+        """Write the trace to a JSON file."""
+        pathlib.Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunTrace":
+        """Read a trace from a JSON file."""
+        return cls.from_json(pathlib.Path(path).read_text())
+
+
+class Tracer:
+    """Collects spans, counters and gauges during one routing run.
+
+    A tracer is always live — recording is a dict update per event, so
+    stages never need ``if tracer is not None`` guards; hot loops should
+    still count locally and flush once per call.  Use :func:`ensure`
+    at API boundaries that accept ``tracer=None``.
+    """
+
+    def __init__(self) -> None:
+        self._epoch_wall = time.perf_counter()
+        self._epoch_cpu = time.process_time()
+        self.spans: List[Span] = []
+        #: Counters recorded while no span is open.
+        self.counters: Dict[str, Number] = {}
+        self._stack: List[Span] = []
+
+    # -- recording -----------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **gauges: Number) -> Iterator[Span]:
+        """Open a nested timed span; extra kwargs become gauges."""
+        span = Span(
+            name=name,
+            started_at=time.perf_counter() - self._epoch_wall,
+        )
+        for key, value in gauges.items():
+            span.gauge(key, value)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+        start_wall = time.perf_counter()
+        start_cpu = time.process_time()
+        try:
+            yield span
+        finally:
+            span.wall_seconds = time.perf_counter() - start_wall
+            span.cpu_seconds = time.process_time() - start_cpu
+            popped = self._stack.pop()
+            assert popped is span
+
+    def count(self, name: str, delta: Number = 1) -> None:
+        """Add ``delta`` to counter ``name`` of the innermost span."""
+        if self._stack:
+            self._stack[-1].count(name, delta)
+        else:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Record gauge ``name`` on the innermost span."""
+        if self._stack:
+            self._stack[-1].gauge(name, value)
+        else:
+            self.counters[name] = value
+
+    # -- finalization --------------------------------------------------
+    def finish(
+        self,
+        router: str = "",
+        design: str = "",
+        meta: Optional[Dict[str, object]] = None,
+    ) -> RunTrace:
+        """Freeze the recorded data into a :class:`RunTrace`.
+
+        Open spans are not closed — finish after all spans exit.
+        """
+        if self._stack:
+            raise RuntimeError(
+                f"cannot finish with open span {self._stack[-1].name!r}"
+            )
+        return RunTrace(
+            router=router,
+            design=design,
+            wall_seconds=time.perf_counter() - self._epoch_wall,
+            cpu_seconds=time.process_time() - self._epoch_cpu,
+            spans=list(self.spans),
+            counters=dict(self.counters),
+            meta=dict(meta or {}),
+        )
+
+
+def ensure(tracer: Optional[Tracer]) -> Tracer:
+    """The given tracer, or a fresh one when ``None``.
+
+    Stage entry points accept ``tracer=None`` for callers that do not
+    care about observability; the throwaway tracer keeps the stage code
+    branch-free.
+    """
+    return tracer if tracer is not None else Tracer()

@@ -1,6 +1,5 @@
 """Tests for the successive-shortest-path min-cost max-flow solver."""
 
-import itertools
 
 import networkx as nx
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the greedy 1-Steiner rectilinear tree."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ tree edges are bichromatic), while iterated max-weight k-colorable
 extraction uses the full palette.
 """
 
-import pytest
 
 from repro.algorithms import coloring_cost
 from repro.assign import (

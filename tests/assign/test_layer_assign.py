@@ -3,8 +3,6 @@
 import itertools
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.algorithms import coloring_cost
 from repro.assign import (

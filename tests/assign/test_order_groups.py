@@ -1,6 +1,5 @@
 """Focused tests for the via-minimizing group ordering."""
 
-import pytest
 
 from repro.assign import Panel, PanelKind, PanelSegment, order_groups_for_vias
 from repro.geometry import Interval

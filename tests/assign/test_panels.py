@@ -1,6 +1,5 @@
 """Tests for panel extraction and segment decomposition."""
 
-import pytest
 
 from repro.assign import Panel, PanelKind, PanelSegment, extract_panels, runs_of_path
 from repro.geometry import Interval

@@ -2,12 +2,10 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.assign import (
-    ColoringMethod,
     Panel,
     PanelKind,
     PanelSegment,

@@ -1,10 +1,7 @@
 """Tests for track regions and assignment validation helpers."""
 
-import pytest
 
 from repro.assign import (
-    Panel,
-    PanelKind,
     PanelSegment,
     TrackRegion,
     find_bad_ends,

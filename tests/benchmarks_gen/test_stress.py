@@ -7,7 +7,7 @@ from repro.benchmarks_gen import (
     mcnc_design,
     mcnc_stress_design,
 )
-from repro.globalroute import GlobalGraph, GlobalRouter
+from repro.globalroute import GlobalRouter
 
 
 class TestStressDesign:

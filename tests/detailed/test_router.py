@@ -1,6 +1,5 @@
 """Tests for the detailed router end to end."""
 
-import pytest
 
 from repro.assign import (
     DesignTrackAssignment,

@@ -1,6 +1,5 @@
 """White-box tests for trunk crossing preconnection and fragments."""
 
-import pytest
 
 from repro.detailed import DetailedGrid, TrunkPiece
 from repro.detailed.router import _piece_fragments, _preconnect_crossings

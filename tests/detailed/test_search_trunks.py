@@ -1,6 +1,5 @@
 """Tests for A* connection search and trunk materialization."""
 
-import pytest
 
 from repro.assign import TrackMethod, assign_layers, assign_tracks, extract_panels
 from repro.detailed import (

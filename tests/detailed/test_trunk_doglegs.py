@@ -1,6 +1,5 @@
 """Tests for dogleg materialization in trunk wires."""
 
-import pytest
 
 from repro.assign import (
     DesignTrackAssignment,

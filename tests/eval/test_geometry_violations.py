@@ -11,7 +11,7 @@ from repro.detailed.wiring import (
     via_landing_points,
 )
 from repro.eval import via_count, wirelength
-from repro.geometry import GridPoint, Orientation, WireSegment
+from repro.geometry import GridPoint, WireSegment
 from repro.layout import StitchingLines
 
 LINES = StitchingLines((15,), epsilon=1, escape_width=4)

@@ -1,6 +1,5 @@
 """The bottom-up ordering property of pass 1 (Section II-B)."""
 
-import pytest
 
 from repro.globalroute import GlobalGraph, GlobalRouter
 from tests.globalroute.test_router import design_with_nets, two_pin

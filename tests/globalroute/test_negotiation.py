@@ -1,6 +1,5 @@
 """Tests for negotiated rip-up behaviour in global routing."""
 
-import numpy as np
 
 from repro.globalroute import GlobalGraph, GlobalRouter
 from tests.globalroute.test_router import design_with_nets, two_pin

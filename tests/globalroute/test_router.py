@@ -1,6 +1,5 @@
 """Tests for the global router."""
 
-import pytest
 
 from repro.benchmarks_gen import SyntheticSpec, generate_design
 from repro.config import RouterConfig

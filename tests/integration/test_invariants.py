@@ -6,14 +6,12 @@ stitching line, vias on lines only at fixed pins, no two nets sharing
 metal, and every routed net connected.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import DisjointSet
 from repro.benchmarks_gen import SyntheticSpec, generate_design
 from repro.core import StitchAwareRouter
-from repro.eval import evaluate
 
 
 def spec_strategy():

@@ -1,6 +1,5 @@
 """Additional multilevel tests: hierarchy properties on random nets."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

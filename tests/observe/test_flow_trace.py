@@ -1,0 +1,88 @@
+"""End-to-end traces from the routing flows on a tiny MCNC instance."""
+
+import pytest
+
+from repro.benchmarks_gen import mcnc_design
+from repro.core import BaselineRouter, StitchAwareRouter
+from repro.observe import RunTrace, Tracer
+
+STAGES = ("global-route", "layer-assign", "track-assign", "detailed-route")
+
+
+@pytest.fixture(scope="module")
+def design():
+    return mcnc_design("S9234", 0.02)
+
+
+@pytest.fixture(scope="module")
+def aware_trace(design) -> RunTrace:
+    return StitchAwareRouter().route(design).trace
+
+
+@pytest.fixture(scope="module")
+def baseline_trace(design) -> RunTrace:
+    return BaselineRouter().route(design).trace
+
+
+class TestFlowTrace:
+    def test_trace_attached_to_result_and_report(self, design):
+        flow = StitchAwareRouter().route(design)
+        assert flow.trace is not None
+        assert flow.report.trace is flow.trace
+
+    def test_all_stage_spans_present(self, aware_trace):
+        for stage in STAGES:
+            span = aware_trace.find(stage)
+            assert span is not None, f"missing span {stage!r}"
+            assert span.wall_seconds > 0.0
+
+    def test_framework_spans_wrap_stages(self, aware_trace):
+        top = [s.name for s in aware_trace.spans]
+        assert top == ["levelize", "pass1", "assign", "pass2"]
+        pass1 = aware_trace.spans[top.index("pass1")]
+        assert pass1.find("global-route") is not None
+        pass2 = aware_trace.spans[top.index("pass2")]
+        assert pass2.find("detailed-route") is not None
+
+    def test_expansion_counters_nonzero(self, aware_trace):
+        agg = aware_trace.aggregate_counters()
+        assert agg.get("maze_expansions", 0) > 0
+        assert agg.get("astar_expansions", 0) > 0
+        assert agg.get("stitch_cost_evaluations", 0) > 0
+
+    def test_at_least_three_distinct_counters(self, aware_trace):
+        assert len(aware_trace.aggregate_counters()) >= 3
+
+    def test_trace_labels(self, aware_trace, design):
+        assert aware_trace.router == "StitchAwareRouter"
+        assert aware_trace.design == design.name
+        assert aware_trace.meta["coloring"] == "flow"
+        assert aware_trace.wall_seconds > 0.0
+
+    def test_layer_assignment_metrics(self, aware_trace):
+        agg = aware_trace.aggregate_counters()
+        assert agg.get("panels", 0) > 0
+        assert agg.get("conflict_vertices", 0) > 0
+
+    def test_baseline_same_schema(self, aware_trace, baseline_trace):
+        assert baseline_trace.router == "BaselineRouter"
+        assert [s.name for s in baseline_trace.spans] == [
+            s.name for s in aware_trace.spans
+        ]
+        for stage in STAGES:
+            assert baseline_trace.find(stage) is not None
+        # Diffable: both serialize under the same format/version tag.
+        a, b = aware_trace.to_dict(), baseline_trace.to_dict()
+        assert a["format"] == b["format"]
+        assert a["version"] == b["version"]
+
+    def test_explicit_tracer_is_used(self, design):
+        tracer = Tracer()
+        flow = StitchAwareRouter().route(design, tracer=tracer)
+        assert [s.name for s in flow.trace.spans] == [
+            s.name for s in tracer.spans
+        ]
+
+    def test_trace_json_round_trip(self, aware_trace):
+        rebuilt = RunTrace.from_json(aware_trace.to_json())
+        assert rebuilt.to_dict() == aware_trace.to_dict()

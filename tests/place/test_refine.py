@@ -1,6 +1,5 @@
 """Tests for stitch-aware placement refinement."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

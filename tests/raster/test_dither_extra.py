@@ -1,7 +1,6 @@
 """Extra dithering properties across kernels."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
