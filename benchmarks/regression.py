@@ -1,0 +1,193 @@
+"""Benchmark regression gate: diff fresh traces against baselines.
+
+Routes a few small Table III circuits with both routers, freezes their
+:class:`~repro.observe.RunTrace` documents, and diffs each against the
+committed baseline in ``benchmarks/baselines/BENCH_<circuit>.json``
+via :func:`repro.observe.diff_traces`.  Deterministic counters (maze
+expansions, A* expansions, rip-up rounds, flow augmentations, ...)
+must match the baseline **exactly** — any drift is a behavior change
+somebody has to sign off on; wall time fails only past the tolerance
+(default 25%) and above the noise floor.
+
+Exit status is non-zero on any regression, so CI can gate on it::
+
+    PYTHONPATH=src python benchmarks/regression.py                 # full gate
+    PYTHONPATH=src python benchmarks/regression.py --only S9234    # one circuit
+    PYTHONPATH=src python benchmarks/regression.py --no-wall       # counters only
+    PYTHONPATH=src python benchmarks/regression.py --update        # refresh baselines
+
+Baseline refresh procedure (after an *intentional* behavior change):
+run with ``--update``, eyeball ``git diff benchmarks/baselines/`` to
+confirm only the counters you expected moved, and commit the new
+baselines together with the change that moved them.  Cross-machine
+wall times are not comparable, which is why CI runs ``--no-wall``;
+the committed wall numbers only serve local before/after comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+from repro.benchmarks_gen import mcnc_design
+from repro.core import BaselineRouter, StitchAwareRouter
+from repro.observe import (
+    DiffThresholds,
+    RunTrace,
+    diff_traces,
+    render_diff,
+)
+
+BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
+
+#: The gate's circuits: small enough that the whole gate runs in
+#: seconds, spread over the easy/hard MCNC split (S13207 has almost no
+#: stitch pins; S9234/S5378 are "hard" circuits with many).
+CIRCUITS: Dict[str, float] = {
+    "S9234": 0.02,
+    "S5378": 0.02,
+    "S13207": 0.02,
+}
+
+ROUTERS = {
+    "baseline": BaselineRouter,
+    "stitch-aware": StitchAwareRouter,
+}
+
+
+def baseline_path(circuit: str) -> pathlib.Path:
+    """Committed baseline document for one circuit."""
+    return BASELINE_DIR / f"BENCH_{circuit}.json"
+
+
+def run_circuit(circuit: str) -> Dict[str, RunTrace]:
+    """Route one gate circuit with every router; traces keyed by label."""
+    scale = CIRCUITS[circuit]
+    traces: Dict[str, RunTrace] = {}
+    for label, router_cls in ROUTERS.items():
+        design = mcnc_design(circuit, scale)
+        traces[label] = router_cls().route(design).trace
+    return traces
+
+
+def save_traces(path: pathlib.Path, traces: Dict[str, RunTrace]) -> None:
+    """Write a ``label -> trace`` document (BENCH_*.json schema)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {label: trace.to_dict() for label, trace in traces.items()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_traces(path: pathlib.Path) -> Dict[str, RunTrace]:
+    """Read a ``label -> trace`` document back."""
+    data = json.loads(path.read_text())
+    return {label: RunTrace.from_dict(doc) for label, doc in data.items()}
+
+
+def check_circuit(
+    circuit: str,
+    traces: Dict[str, RunTrace],
+    thresholds: DiffThresholds,
+) -> List[str]:
+    """Diff fresh traces against the committed baseline; failures out."""
+    path = baseline_path(circuit)
+    if not path.exists():
+        return [f"{circuit}: missing baseline {path} (run with --update)"]
+    baselines = load_traces(path)
+    failures: List[str] = []
+    for label, fresh in traces.items():
+        if label not in baselines:
+            failures.append(f"{circuit}/{label}: not in baseline document")
+            continue
+        diff = diff_traces(baselines[label], fresh, thresholds)
+        if diff.ok:
+            print(f"{circuit}/{label}: OK")
+        else:
+            print(render_diff(diff))
+            failures.extend(
+                f"{circuit}/{label}: {line}" for line in diff.regressions()
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark trace regression gate"
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="CIRCUIT",
+        help="restrict to one circuit (repeatable)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baselines instead of checking",
+    )
+    parser.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="compare deterministic counters only (use on CI: committed "
+        "wall times come from a different machine)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="wall-time regression threshold (default 25%%)",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="noise floor below which stage timings are not compared",
+    )
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        help="also write the freshly produced traces there (CI artifacts)",
+    )
+    args = parser.parse_args(argv)
+
+    circuits = args.only or list(CIRCUITS)
+    unknown = [c for c in circuits if c not in CIRCUITS]
+    if unknown:
+        parser.error(
+            f"unknown gate circuit(s) {unknown}; choose from {list(CIRCUITS)}"
+        )
+    thresholds = DiffThresholds(
+        wall_pct=args.wall_tolerance,
+        min_wall_seconds=args.min_wall,
+        include_wall=not args.no_wall,
+    )
+
+    failures: List[str] = []
+    for circuit in circuits:
+        traces = run_circuit(circuit)
+        if args.out_dir:
+            out = pathlib.Path(args.out_dir) / f"BENCH_{circuit}.json"
+            save_traces(out, traces)
+            print(f"wrote {out}")
+        if args.update:
+            save_traces(baseline_path(circuit), traces)
+            print(f"updated {baseline_path(circuit)}")
+        else:
+            failures.extend(check_circuit(circuit, traces, thresholds))
+
+    if failures:
+        print(f"\nregression gate FAILED ({len(failures)} finding(s)):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    if not args.update:
+        print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

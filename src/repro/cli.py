@@ -7,12 +7,20 @@ Commands:
   write the SVG plot, the JSON report, and the design snapshot.
 * ``compare`` — run both routers on one circuit and print the
   Table III style comparison row.
+* ``diag`` — route one circuit and print the per-stitch-line
+  violation histogram (which line causes which #VV/#SP).
+* ``trace show|diff|top`` — summarize, compare, or hotspot-rank saved
+  trace JSONs (``--profile`` dumps, report files, or BENCH documents).
 * ``circuits`` — list the available benchmark circuits.
+
+``-v`` / ``-vv`` (before the command) stream live span/round progress
+from the run through the :mod:`repro.observe.log` bridge.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -23,7 +31,21 @@ from .benchmarks_gen import (
     mcnc_design,
 )
 from .core import BaselineRouter, StitchAwareRouter
+from .eval import RoutingReport
 from .io import save_design, save_report
+from .observe import (
+    DiffThresholds,
+    LoggingTracer,
+    TraceSummary,
+    Tracer,
+    configure_logging,
+    diff_traces,
+    hotspots,
+    load_trace_file,
+    render_diff,
+    render_hotspots,
+    render_summary,
+)
 from .reporting import format_table
 from .viz import render_routing_svg
 
@@ -38,6 +60,24 @@ def _get_design(name: str, scale: float):
     )
 
 
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """A logging tracer when ``-v`` was given, else let the flow decide."""
+    return LoggingTracer() if args.verbose else None
+
+
+def _profile_path(prefix: str, label: str) -> str:
+    """Per-router trace path: splice ``label`` before the extension.
+
+    ``foo.json`` + ``baseline`` -> ``foo_baseline.json`` (not the
+    mangled ``foo.json_baseline.json``); an extension-less prefix gets
+    ``.json`` appended.
+    """
+    path = pathlib.Path(prefix)
+    suffix = path.suffix if path.suffix == ".json" else ""
+    stem = path.name[: len(path.name) - len(suffix)] if suffix else path.name
+    return str(path.with_name(f"{stem}_{label}{suffix or '.json'}"))
+
+
 def _cmd_circuits(_args: argparse.Namespace) -> int:
     print("MCNC   :", ", ".join(MCNC_NAMES))
     print("Faraday:", ", ".join(FARADAY_NAMES))
@@ -47,7 +87,7 @@ def _cmd_circuits(_args: argparse.Namespace) -> int:
 def _cmd_route(args: argparse.Namespace) -> int:
     design = _get_design(args.circuit, args.scale)
     router = BaselineRouter() if args.baseline else StitchAwareRouter()
-    flow = router.route(design)
+    flow = router.route(design, tracer=_make_tracer(args))
     report = flow.report
     print(
         format_table(
@@ -82,14 +122,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ("baseline", BaselineRouter()),
         ("stitch-aware", StitchAwareRouter()),
     ):
-        flow = router.route(design)
+        flow = router.route(design, tracer=_make_tracer(args))
         report = flow.report
         row = report.row()
         row["circuit"] = f"{design.name} ({label})"
         rows.append(row)
         if args.profile:
             assert flow.trace is not None
-            path = f"{args.profile}_{label}.json"
+            path = _profile_path(args.profile, label)
             flow.trace.save(path)
             print(f"wrote {path}")
     print(format_table(rows, title=f"{design.name} @ scale {args.scale}"))
@@ -100,11 +140,109 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _histogram_rows(report: RoutingReport) -> List[dict]:
+    """Per-stitch-line table rows (line index, x, per-kind counts)."""
+    line_x = {v.line: v.x for v in report.violations}
+    rows = []
+    for line, kinds in report.stitch_line_histogram().items():
+        rows.append(
+            {
+                "line": line,
+                "x": line_x[line],
+                "vv": kinds["via"],
+                "vertical": kinds["vertical"],
+                "sp": kinds["short-polygon"],
+                "total": sum(kinds.values()),
+            }
+        )
+    return rows
+
+
+def _cmd_diag(args: argparse.Namespace) -> int:
+    design = _get_design(args.circuit, args.scale)
+    router = BaselineRouter() if args.baseline else StitchAwareRouter()
+    flow = router.route(design, tracer=_make_tracer(args))
+    report = flow.report
+    print(
+        format_table(
+            [report.row()],
+            title=f"{design.name} @ scale {args.scale} "
+            f"({'baseline' if args.baseline else 'stitch-aware'})",
+        )
+    )
+    print()
+    rows = _histogram_rows(report)
+    if rows:
+        print(
+            format_table(
+                rows,
+                columns=["line", "x", "vv", "vertical", "sp", "total"],
+                title="violations per stitching line "
+                f"({len(design.stitches)} lines total)",
+            )
+        )
+    else:
+        print("no stitch violations — every line is clean")
+    worst = sorted(rows, key=lambda r: r["total"], reverse=True)[:3]
+    for row in worst:
+        offenders = sorted(
+            {v.net for v in report.violations if v.line == row["line"]}
+        )
+        shown = ", ".join(offenders[:6])
+        more = f" (+{len(offenders) - 6} more)" if len(offenders) > 6 else ""
+        print(f"line {row['line']} (x={row['x']}): nets {shown}{more}")
+    if args.report:
+        save_report(report, args.report)
+        print(f"wrote {args.report}")
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    trace = load_trace_file(args.trace, key=args.key)
+    fmt = "markdown" if args.markdown else "plain"
+    print(render_summary(TraceSummary.from_trace(trace), fmt=fmt))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    old = load_trace_file(args.old, key=args.key_old or args.key)
+    new = load_trace_file(args.new, key=args.key_new or args.key)
+    thresholds = DiffThresholds(
+        wall_pct=args.wall_tolerance,
+        min_wall_seconds=args.min_wall,
+        include_wall=not args.no_wall,
+    )
+    diff = diff_traces(old, new, thresholds)
+    fmt = "markdown" if args.markdown else "plain"
+    print(render_diff(diff, fmt=fmt))
+    if not diff.ok:
+        print()
+        print("REGRESSIONS:")
+        for line in diff.regressions():
+            print(f"  {line}")
+        return 1
+    return 0
+
+
+def _cmd_trace_top(args: argparse.Namespace) -> int:
+    trace = load_trace_file(args.trace, key=args.key)
+    fmt = "markdown" if args.markdown else "plain"
+    print(render_hotspots(hotspots(trace, n=args.n), fmt=fmt))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Stitch-aware routing for MEBL (DAC'13 reproduction)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="stream run progress (-v: stages and rounds, -vv: all spans)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -139,12 +277,80 @@ def build_parser() -> argparse.ArgumentParser:
         "(default prefix: trace)",
     )
     compare.set_defaults(func=_cmd_compare)
+
+    diag = sub.add_parser(
+        "diag",
+        help="per-stitch-line violation diagnosis of one circuit",
+    )
+    diag.add_argument("circuit")
+    diag.add_argument("--scale", type=float, default=0.05)
+    diag.add_argument("--baseline", action="store_true")
+    diag.add_argument(
+        "--report", help="also write the JSON report (with attributions)"
+    )
+    diag.set_defaults(func=_cmd_diag)
+
+    trace = sub.add_parser("trace", help="inspect saved trace JSONs")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--key",
+            help="trace label inside a BENCH_*.json document",
+        )
+        p.add_argument(
+            "--markdown", action="store_true", help="render markdown tables"
+        )
+
+    show = tsub.add_parser("show", help="per-stage rollup of one trace")
+    show.add_argument("trace")
+    _trace_common(show)
+    show.set_defaults(func=_cmd_trace_show)
+
+    diff = tsub.add_parser(
+        "diff",
+        help="structured delta between two traces "
+        "(exits 1 on counter drift or wall regression)",
+    )
+    diff.add_argument("old")
+    diff.add_argument("new")
+    _trace_common(diff)
+    diff.add_argument("--key-old", help="label for OLD in a BENCH document")
+    diff.add_argument("--key-new", help="label for NEW in a BENCH document")
+    diff.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="wall-time slowdown considered a regression (default 25%%)",
+    )
+    diff.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="skip wall comparison of stages under this floor",
+    )
+    diff.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="compare deterministic counters only (cross-machine diffs)",
+    )
+    diff.set_defaults(func=_cmd_trace_diff)
+
+    top = tsub.add_parser("top", help="hotspot ranking by self wall time")
+    top.add_argument("trace")
+    top.add_argument("-n", type=int, default=10, help="entries to show")
+    _trace_common(top)
+    top.set_defaults(func=_cmd_trace_top)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (also used by ``python -m repro``)."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     return args.func(args)
 
 

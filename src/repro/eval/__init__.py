@@ -18,7 +18,13 @@ from .congestion import (
     global_congestion_stats,
     vertex_heatmap,
 )
-from .violations import NetReport, RoutingReport, evaluate
+from .violations import (
+    VIOLATION_KINDS,
+    NetReport,
+    RoutingReport,
+    Violation,
+    evaluate,
+)
 
 __all__ = [
     "CongestionStats",
@@ -28,6 +34,8 @@ __all__ = [
     "global_congestion_stats",
     "vertex_heatmap",
     "RoutingReport",
+    "VIOLATION_KINDS",
+    "Violation",
     "canonical_edge",
     "edges_to_segments",
     "evaluate",

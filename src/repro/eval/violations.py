@@ -15,6 +15,14 @@ paper's tables report:
   (Fig. 5c).  A pin at the wire end counts as a landing via (the cell
   contact).
 * routability, wirelength, via count.
+
+Every violation is *attributed*: a :class:`Violation` records the net,
+the kind, the stitching line (index and x) that caused it, and where
+it sits (y, layer).  :meth:`RoutingReport.stitch_line_histogram` rolls
+the attributions up per line, which is how the paper's per-feature
+evaluation (and detailed routers such as TRIAD / Mr.TPL) report
+conflict breakdowns; the aggregate #VV/#SP/vertical columns are by
+construction the histogram's totals.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..detailed import DetailedResult
 from ..geometry import Orientation, WireSegment
-from ..layout import Design
+from ..layout import Design, StitchingLines
 from ..observe import RunTrace
 from .geometry import (
     Edge,
@@ -34,6 +42,55 @@ from .geometry import (
     via_count,
     wirelength,
 )
+
+#: Violation ``kind`` labels, in histogram column order.
+VIOLATION_KINDS = ("via", "vertical", "short-polygon")
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One attributed stitch violation.
+
+    Attributes:
+        net: name of the offending net.
+        kind: ``"via"`` (#VV), ``"vertical"`` (vertical routing
+            violation), or ``"short-polygon"`` (#SP).
+        line: index of the stitching line that causes the violation
+            (position in ``design.stitches.xs``).
+        x: x coordinate of that stitching line, in pitches.
+        y: y coordinate of the violating via / segment / line end.
+        layer: routing layer of the violation (the lower layer for a
+            via stack; 0 for a pin's cell contact).
+    """
+
+    net: str
+    kind: str
+    line: int
+    x: int
+    y: int
+    layer: int
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (net implied by the enclosing report entry)."""
+        return {
+            "kind": self.kind,
+            "line": self.line,
+            "x": self.x,
+            "y": self.y,
+            "layer": self.layer,
+        }
+
+    @classmethod
+    def from_dict(cls, net: str, data: dict) -> "Violation":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            net=net,
+            kind=data["kind"],
+            line=data["line"],
+            x=data["x"],
+            y=data["y"],
+            layer=data["layer"],
+        )
 
 
 @dataclasses.dataclass
@@ -47,6 +104,9 @@ class NetReport:
     short_polygons: int
     wirelength: int
     vias: int
+    #: Attributed violations behind the three count columns, in kind
+    #: order (vias, vertical, short polygons).
+    violations: List[Violation] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -71,6 +131,40 @@ class RoutingReport:
     def routability(self) -> float:
         """Routed fraction (``Rout.`` column)."""
         return self.routed_nets / self.total_nets if self.total_nets else 1.0
+
+    @property
+    def violations(self) -> List[Violation]:
+        """Every attributed violation the aggregate columns count.
+
+        Mirrors the column semantics exactly: short polygons of
+        unrouted nets are excluded (as in the #SP column), everything
+        else is included, so per-kind totals over this list equal the
+        #VV / vertical / #SP fields.
+        """
+        out: List[Violation] = []
+        for net in self.nets.values():
+            for violation in net.violations:
+                if violation.kind == "short-polygon" and not net.routed:
+                    continue
+                out.append(violation)
+        return out
+
+    def stitch_line_histogram(self) -> Dict[int, Dict[str, int]]:
+        """Violation counts per stitching line, split by kind.
+
+        Keys are stitching-line indices; each value maps every kind of
+        :data:`VIOLATION_KINDS` to its count at that line (zeros
+        included).  Lines without violations are absent.  Summing any
+        kind over all lines reproduces the corresponding aggregate
+        column.
+        """
+        histogram: Dict[int, Dict[str, int]] = {}
+        for violation in self.violations:
+            per_line = histogram.setdefault(
+                violation.line, {kind: 0 for kind in VIOLATION_KINDS}
+            )
+            per_line[violation.kind] += 1
+        return dict(sorted(histogram.items()))
 
     def row(self) -> dict:
         """Dict row matching the paper's table columns."""
@@ -113,42 +207,75 @@ def evaluate(result: DetailedResult) -> RoutingReport:
 
 def _check_net(design: Design, routed_net) -> NetReport:
     stitches = design.stitches
+    name = routed_net.net.name
     pins = routed_net.pin_nodes
     edges = trim_dangling(routed_net.edges, pins)
     segments = edges_to_segments(edges)
 
-    vv = sum(
-        1 for (x, _y) in _via_positions(edges) if stitches.is_on_line(x)
-    )
+    violations: List[Violation] = []
+    for (x, y), layer in sorted(_via_positions(edges).items()):
+        line = stitches.line_index(x)
+        if line is not None:
+            violations.append(Violation(name, "via", line, x, y, layer))
     # Each routed pin is a cell contact (an implicit via below layer 1);
     # a pin on a stitching line is therefore a via violation.
     if routed_net.routed:
-        vv += sum(1 for (x, _y, _z) in pins if stitches.is_on_line(x))
+        for x, y, z in sorted(pins):
+            line = stitches.line_index(x)
+            if line is not None:
+                violations.append(Violation(name, "via", line, x, y, z))
+    vv = len(violations)
 
-    vertical = _vertical_violations(design, segments)
-    sp = len(short_polygon_sites(edges, pins, stitches))
+    violations.extend(_vertical_violations(name, stitches, segments))
+    vertical = len(violations) - vv
+
+    sp_sites = short_polygon_sites(edges, pins, stitches)
+    for (line_x, y, layer), _end in sp_sites:
+        line = stitches.line_index(line_x)
+        assert line is not None  # crossing nodes sit on a line
+        violations.append(
+            Violation(name, "short-polygon", line, line_x, y, layer)
+        )
     return NetReport(
-        name=routed_net.net.name,
+        name=name,
         routed=routed_net.routed,
         via_violations=vv,
         vertical_violations=vertical,
-        short_polygons=sp,
+        short_polygons=len(sp_sites),
         wirelength=wirelength(edges),
         vias=via_count(edges),
+        violations=violations,
     )
 
 
-def _via_positions(edges: Set[Edge]) -> Set[Tuple[int, int]]:
-    return {(a[0], a[1]) for a, b in edges if a[2] != b[2]}
+def _via_positions(edges: Set[Edge]) -> Dict[Tuple[int, int], int]:
+    """Via (x, y) positions mapped to the lowest layer of the stack."""
+    positions: Dict[Tuple[int, int], int] = {}
+    for a, b in edges:
+        if a[2] != b[2]:
+            key = (a[0], a[1])
+            low = min(a[2], b[2])
+            positions[key] = min(positions.get(key, low), low)
+    return positions
 
 
-def _vertical_violations(design: Design, segments: List[WireSegment]) -> int:
+def _vertical_violations(
+    net: str, stitches: StitchingLines, segments: List[WireSegment]
+) -> List[Violation]:
     """Vertical wires running along a stitching line (must be zero)."""
-    stitches = design.stitches
-    count = 0
+    out: List[Violation] = []
     for seg in segments:
-        if seg.orientation is Orientation.VERTICAL and stitches.is_on_line(
-            seg.a.x
-        ):
-            count += 1
-    return count
+        if seg.orientation is Orientation.VERTICAL:
+            line = stitches.line_index(seg.a.x)
+            if line is not None:
+                out.append(
+                    Violation(
+                        net,
+                        "vertical",
+                        line,
+                        seg.a.x,
+                        min(seg.a.y, seg.b.y),
+                        seg.a.layer,
+                    )
+                )
+    return out

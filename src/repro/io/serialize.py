@@ -15,7 +15,7 @@ import pathlib
 from typing import Dict, Union
 
 from ..config import RouterConfig
-from ..eval import NetReport, RoutingReport
+from ..eval import NetReport, RoutingReport, Violation
 from ..geometry import Point
 from ..layout import Design, Net, Netlist, Pin, StitchingLines, Technology
 from ..observe import RunTrace
@@ -124,7 +124,10 @@ def report_to_dict(report: RoutingReport) -> dict:
     The embedded ``trace`` key (present when the report came from a
     traced flow) holds the :class:`RunTrace` document unchanged, so the
     same span/counter schema applies inside reports and standalone
-    trace files.
+    trace files.  Each net entry carries its attributed ``violations``
+    (kind, stitching-line index, x, y, layer), and the top-level
+    ``stitch_histogram`` key rolls them up per line — both additive,
+    so pre-attribution reports still load (with empty attributions).
     """
     out = {
         "format": FORMAT_REPORT,
@@ -138,6 +141,10 @@ def report_to_dict(report: RoutingReport) -> dict:
         "wirelength": report.wirelength,
         "vias": report.vias,
         "cpu_seconds": report.cpu_seconds,
+        "stitch_histogram": {
+            str(line): dict(kinds)
+            for line, kinds in report.stitch_line_histogram().items()
+        },
         "nets": {
             name: {
                 "routed": nr.routed,
@@ -146,6 +153,7 @@ def report_to_dict(report: RoutingReport) -> dict:
                 "short_polygons": nr.short_polygons,
                 "wirelength": nr.wirelength,
                 "vias": nr.vias,
+                "violations": [v.to_dict() for v in nr.violations],
             }
             for name, nr in report.nets.items()
         },
@@ -168,6 +176,10 @@ def report_from_dict(data: dict) -> RoutingReport:
             short_polygons=entry["short_polygons"],
             wirelength=entry["wirelength"],
             vias=entry["vias"],
+            violations=[
+                Violation.from_dict(name, v)
+                for v in entry.get("violations", [])
+            ],
         )
         for name, entry in data["nets"].items()
     }

@@ -64,6 +64,18 @@ class StitchingLines:
         i = bisect.bisect_left(self.xs, x)
         return i < len(self.xs) and self.xs[i] == x
 
+    def line_index(self, x: int) -> int | None:
+        """Index of the stitching line at ``x`` (``None`` if not a line).
+
+        Violation attribution keys its per-line histograms by this
+        index; it is stable under design rescaling of the line
+        coordinates while ``x`` itself is not.
+        """
+        i = bisect.bisect_left(self.xs, x)
+        if i < len(self.xs) and self.xs[i] == x:
+            return i
+        return None
+
     def nearest_line(self, x: int) -> int | None:
         """The stitching line x closest to ``x`` (ties to the left)."""
         if not self.xs:

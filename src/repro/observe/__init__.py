@@ -1,10 +1,34 @@
-"""Flow observability: staged tracing and metrics (spans + counters).
+"""Flow observability: staged tracing, metrics, analytics, logging.
 
 Every stage of both routing flows reports timings and event counts
 here, so per-stage behavior (Tables III–VIII of the paper) is
-measurable instead of being folded into one CPU number.
+measurable instead of being folded into one CPU number.  On top of the
+recording layer (:mod:`~repro.observe.tracer`) sit the consumers:
+:mod:`~repro.observe.analytics` rolls traces up, diffs them against
+baselines and extracts hotspots, and :mod:`~repro.observe.log` mirrors
+trace events into stdlib logging for live progress.
 """
 
+from .analytics import (
+    CounterDelta,
+    DiffThresholds,
+    Hotspot,
+    StageStats,
+    TimingDelta,
+    TraceDiff,
+    TraceSummary,
+    diff_traces,
+    hotspots,
+    load_trace_file,
+    render_diff,
+    render_hotspots,
+    render_summary,
+)
+from .log import (
+    TRACE_LOGGER_NAME,
+    LoggingTracer,
+    configure_logging,
+)
 from .tracer import (
     TRACE_FORMAT,
     TRACE_VERSION,
@@ -16,9 +40,25 @@ from .tracer import (
 
 __all__ = [
     "TRACE_FORMAT",
+    "TRACE_LOGGER_NAME",
     "TRACE_VERSION",
+    "CounterDelta",
+    "DiffThresholds",
+    "Hotspot",
+    "LoggingTracer",
     "RunTrace",
     "Span",
+    "StageStats",
+    "TimingDelta",
+    "TraceDiff",
+    "TraceSummary",
     "Tracer",
+    "configure_logging",
+    "diff_traces",
     "ensure",
+    "hotspots",
+    "load_trace_file",
+    "render_diff",
+    "render_hotspots",
+    "render_summary",
 ]

@@ -1,0 +1,139 @@
+"""Structured-logging bridge for the tracer (stdlib ``logging`` only).
+
+The tracer freezes a run into a :class:`~repro.observe.RunTrace` for
+post-hoc analysis; this module mirrors the same events *live* into
+named stdlib loggers so long runs can be watched as they happen —
+``python -m repro -v route ...`` for stage progress, ``-vv`` for every
+span, round, and counter flush.
+
+Each span logs under ``repro.trace.<span-name>`` with the full span
+path, its gauges (round numbers, queue sizes, net counts) and, on
+close, its wall/CPU seconds and flushed counters.  Framework and stage
+spans (depth < 2) and the per-round progress spans log at ``INFO``;
+everything deeper logs at ``DEBUG``.  No handler is installed by the
+bridge itself — either call :func:`configure_logging` (what the CLI's
+``-v/-vv`` flags do) or attach your own handlers to ``repro.trace``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+from .tracer import Number, Span, Tracer
+
+#: Root logger name of the bridge; span loggers are children of it.
+TRACE_LOGGER_NAME = "repro.trace"
+
+#: Span names that report per-round progress — always worth INFO even
+#: though they sit deep in the tree.
+PROGRESS_SPANS = frozenset({"negotiation-round", "ripup-round", "level"})
+
+#: Spans deeper than this log at DEBUG (unless in PROGRESS_SPANS).
+INFO_DEPTH = 2
+
+
+class LoggingTracer(Tracer):
+    """A :class:`Tracer` that also mirrors events into stdlib logging.
+
+    Drop-in replacement anywhere a tracer is accepted: the frozen
+    :class:`~repro.observe.RunTrace` is identical, but span opens and
+    closes, counter flushes, and round progress additionally emit log
+    records with stage context.
+
+    Args:
+        logger: parent logger; defaults to ``repro.trace``.
+    """
+
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
+        super().__init__()
+        self._logger = logger or logging.getLogger(TRACE_LOGGER_NAME)
+
+    # -- helpers -------------------------------------------------------
+    def _path(self, name: Optional[str] = None) -> str:
+        parts = [span.name for span in self._stack]
+        if name is not None:
+            parts.append(name)
+        return "/".join(parts) or "(root)"
+
+    def _level(self, name: str, depth: int) -> int:
+        if depth < INFO_DEPTH or name in PROGRESS_SPANS:
+            return logging.INFO
+        return logging.DEBUG
+
+    # -- mirrored recording --------------------------------------------
+    @contextmanager
+    def span(self, name: str, **gauges: Number) -> Iterator[Span]:
+        depth = len(self._stack)
+        level = self._level(name, depth)
+        logger = self._logger.getChild(name)
+        path = self._path(name)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug("open %s%s", path, _kv(" ", gauges))
+        with super().span(name, **gauges) as span:
+            try:
+                yield span
+            finally:
+                if logger.isEnabledFor(level):
+                    logger.log(
+                        level,
+                        "%s wall=%.3fs cpu=%.3fs%s%s",
+                        path,
+                        span.wall_seconds,
+                        span.cpu_seconds,
+                        _kv(" ", span.gauges),
+                        _kv(" counters: ", span.counters),
+                    )
+
+    def count(self, name: str, delta: Number = 1) -> None:
+        super().count(name, delta)
+        # Individual increments are too hot to log; per-call flushes
+        # from stage code (delta > 1) are the interesting ones.
+        if delta != 1 and self._logger.isEnabledFor(logging.DEBUG):
+            self._logger.getChild("counter").debug(
+                "%s %s += %s", self._path(), name, delta
+            )
+
+    def gauge(self, name: str, value: Number) -> None:
+        super().gauge(name, value)
+        if self._logger.isEnabledFor(logging.DEBUG):
+            self._logger.getChild("gauge").debug(
+                "%s %s = %s", self._path(), name, value
+            )
+
+
+def _kv(prefix: str, mapping: dict) -> str:
+    if not mapping:
+        return ""
+    body = " ".join(f"{k}={v}" for k, v in sorted(mapping.items()))
+    return f"{prefix}{body}"
+
+
+def configure_logging(
+    verbosity: int, stream: Optional[TextIO] = None
+) -> Optional[logging.Handler]:
+    """Install a stderr handler for the bridge (CLI ``-v/-vv``).
+
+    ``verbosity`` 0 is a no-op; 1 shows stage and round progress
+    (INFO); 2 and above shows every span, counter flush, and gauge
+    (DEBUG).  Returns the installed handler (so tests can remove it),
+    or ``None`` when verbosity is 0.  Calling it again replaces the
+    previous handler instead of stacking duplicates.
+    """
+    if verbosity <= 0:
+        return None
+    logger = logging.getLogger(TRACE_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_trace_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+    )
+    handler._repro_trace_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
+    logger.propagate = False
+    return handler

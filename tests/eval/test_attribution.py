@@ -1,0 +1,134 @@
+"""Violation attribution: per-stitch-line histograms match the columns."""
+
+import json
+
+import pytest
+
+from repro.benchmarks_gen import mcnc_design
+from repro.core import BaselineRouter, StitchAwareRouter
+from repro.eval import VIOLATION_KINDS, NetReport, RoutingReport, Violation
+from repro.io import report_from_dict, report_to_dict
+from repro.layout import StitchingLines
+
+
+@pytest.fixture(scope="module")
+def reports():
+    design = mcnc_design("S9234", 0.02)
+    return {
+        "baseline": BaselineRouter().route(design).report,
+        "stitch-aware": StitchAwareRouter().route(design).report,
+    }
+
+
+class TestLineIndex:
+    def test_index_of_lines_and_non_lines(self):
+        lines = StitchingLines((10, 20, 30))
+        assert lines.line_index(10) == 0
+        assert lines.line_index(30) == 2
+        assert lines.line_index(15) is None
+        assert lines.line_index(31) is None
+
+    def test_matches_is_on_line(self):
+        lines = StitchingLines((7, 19))
+        for x in range(0, 25):
+            assert (lines.line_index(x) is not None) == lines.is_on_line(x)
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("label", ["baseline", "stitch-aware"])
+    def test_histogram_totals_equal_report_columns(self, reports, label):
+        report = reports[label]
+        totals = {kind: 0 for kind in VIOLATION_KINDS}
+        for kinds in report.stitch_line_histogram().values():
+            for kind, count in kinds.items():
+                totals[kind] += count
+        assert totals["via"] == report.via_violations
+        assert totals["vertical"] == report.vertical_violations
+        assert totals["short-polygon"] == report.short_polygons
+
+    def test_violations_carry_full_attribution(self, reports):
+        report = reports["baseline"]
+        assert report.violations, "expected stitch violations on S9234"
+        design = mcnc_design("S9234", 0.02)
+        for violation in report.violations:
+            assert violation.kind in VIOLATION_KINDS
+            assert violation.net in report.nets
+            assert design.stitches.xs[violation.line] == violation.x
+            assert violation.layer >= 0
+
+    def test_unrouted_short_polygons_excluded_like_the_sp_column(self):
+        nets = {
+            "good": NetReport(
+                "good", True, 0, 0, 1, 5, 1,
+                violations=[Violation("good", "short-polygon", 0, 10, 3, 1)],
+            ),
+            "bad": NetReport(
+                "bad", False, 1, 0, 1, 5, 1,
+                violations=[
+                    Violation("bad", "short-polygon", 0, 10, 4, 1),
+                    Violation("bad", "via", 1, 20, 4, 0),
+                ],
+            ),
+        }
+        report = RoutingReport(
+            design_name="toy", total_nets=2, routed_nets=1,
+            via_violations=1, vertical_violations=0, short_polygons=1,
+            wirelength=10, vias=2, cpu_seconds=0.0, nets=nets,
+        )
+        kinds = [v.kind for v in report.violations]
+        assert kinds.count("short-polygon") == report.short_polygons == 1
+        assert kinds.count("via") == report.via_violations == 1
+        hist = report.stitch_line_histogram()
+        assert hist[0]["short-polygon"] == 1
+        assert hist[1]["via"] == 1
+
+    def test_histogram_sorted_and_zero_filled(self):
+        nets = {
+            "n": NetReport(
+                "n", True, 1, 0, 0, 1, 1,
+                violations=[Violation("n", "via", 2, 30, 1, 0)],
+            ),
+        }
+        report = RoutingReport(
+            design_name="toy", total_nets=1, routed_nets=1,
+            via_violations=1, vertical_violations=0, short_polygons=0,
+            wirelength=1, vias=1, cpu_seconds=0.0, nets=nets,
+        )
+        hist = report.stitch_line_histogram()
+        assert list(hist) == [2]
+        assert hist[2] == {"via": 1, "vertical": 0, "short-polygon": 0}
+
+
+class TestSerialization:
+    def test_report_roundtrip_preserves_attribution(self, reports):
+        report = reports["baseline"]
+        doc = json.loads(json.dumps(report_to_dict(report)))
+        reloaded = report_from_dict(doc)
+        assert reloaded.stitch_line_histogram() == (
+            report.stitch_line_histogram()
+        )
+        assert sorted(
+            (v.net, v.kind, v.line, v.x, v.y, v.layer)
+            for v in reloaded.violations
+        ) == sorted(
+            (v.net, v.kind, v.line, v.x, v.y, v.layer)
+            for v in report.violations
+        )
+
+    def test_saved_document_exposes_histogram(self, reports):
+        doc = report_to_dict(reports["baseline"])
+        assert "stitch_histogram" in doc
+        total_vv = sum(
+            kinds["via"] for kinds in doc["stitch_histogram"].values()
+        )
+        assert total_vv == doc["via_violations"]
+
+    def test_pre_attribution_documents_still_load(self, reports):
+        doc = report_to_dict(reports["baseline"])
+        doc.pop("stitch_histogram")
+        for entry in doc["nets"].values():
+            entry.pop("violations")
+        reloaded = report_from_dict(doc)
+        assert reloaded.via_violations == reports["baseline"].via_violations
+        assert reloaded.violations == []
+        assert reloaded.stitch_line_histogram() == {}

@@ -1,0 +1,112 @@
+"""The structured-logging bridge mirrors tracer events into logging."""
+
+import io
+import logging
+
+import pytest
+
+from repro.observe import (
+    TRACE_LOGGER_NAME,
+    LoggingTracer,
+    configure_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logger():
+    """Isolate each test's handlers/levels on the bridge logger."""
+    logger = logging.getLogger(TRACE_LOGGER_NAME)
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield logger
+    logger.handlers, logger.level, logger.propagate = saved
+
+
+class TestLoggingTracer:
+    def test_is_a_drop_in_tracer(self):
+        tracer = LoggingTracer()
+        with tracer.span("pass1") as span:
+            tracer.count("events", 5)
+            span.gauge("x", 1)
+        trace = tracer.finish(router="R", design="d")
+        assert trace.find("pass1").counters == {"events": 5}
+        assert trace.find("pass1").gauges == {"x": 1}
+
+    def test_span_close_logged_with_path_and_counters(self, caplog):
+        with caplog.at_level(logging.INFO, logger=TRACE_LOGGER_NAME):
+            tracer = LoggingTracer()
+            with tracer.span("pass1"):
+                with tracer.span("global-route") as span:
+                    span.count("maze_expansions", 42)
+        messages = [r.getMessage() for r in caplog.records]
+        assert any(
+            "pass1/global-route" in m and "maze_expansions=42" in m
+            for m in messages
+        )
+        names = {r.name for r in caplog.records}
+        assert f"{TRACE_LOGGER_NAME}.global-route" in names
+
+    def test_round_spans_log_at_info_despite_depth(self, caplog):
+        with caplog.at_level(logging.INFO, logger=TRACE_LOGGER_NAME):
+            tracer = LoggingTracer()
+            with tracer.span("pass1"), tracer.span("global-route"):
+                with tracer.span("negotiation-round", round=2):
+                    pass
+        round_records = [
+            r for r in caplog.records if "negotiation-round" in r.name
+        ]
+        assert round_records and all(
+            r.levelno == logging.INFO for r in round_records
+        )
+        assert any("round=2" in r.getMessage() for r in round_records)
+
+    def test_deep_spans_and_flushes_only_at_debug(self, caplog):
+        tracer = LoggingTracer()
+        with caplog.at_level(logging.INFO, logger=TRACE_LOGGER_NAME):
+            with tracer.span("pass1"), tracer.span("stage"):
+                with tracer.span("inner-detail"):
+                    tracer.count("bulk", 100)
+        info_msgs = [r for r in caplog.records if "inner-detail" in r.name]
+        assert not info_msgs
+        caplog.clear()
+        with caplog.at_level(logging.DEBUG, logger=TRACE_LOGGER_NAME):
+            with tracer.span("pass2"), tracer.span("stage"):
+                with tracer.span("inner-detail"):
+                    tracer.count("bulk", 100)
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("open" in m and "inner-detail" in m for m in messages)
+        assert any("bulk += 100" in m for m in messages)
+
+
+class TestConfigureLogging:
+    def test_zero_verbosity_is_noop(self, clean_logger):
+        before = list(clean_logger.handlers)
+        assert configure_logging(0) is None
+        assert clean_logger.handlers == before
+
+    def test_verbosity_levels(self, clean_logger):
+        handler = configure_logging(1, stream=io.StringIO())
+        assert handler in clean_logger.handlers
+        assert clean_logger.level == logging.INFO
+        configure_logging(2, stream=io.StringIO())
+        assert clean_logger.level == logging.DEBUG
+
+    def test_reconfigure_does_not_stack_handlers(self, clean_logger):
+        base = len(logging.getLogger(TRACE_LOGGER_NAME).handlers)
+        configure_logging(1, stream=io.StringIO())
+        configure_logging(2, stream=io.StringIO())
+        ours = [
+            h
+            for h in clean_logger.handlers
+            if getattr(h, "_repro_trace_handler", False)
+        ]
+        assert len(ours) == 1
+        assert len(clean_logger.handlers) == base + 1
+
+    def test_messages_reach_the_stream(self, clean_logger):
+        buf = io.StringIO()
+        configure_logging(1, stream=buf)
+        tracer = LoggingTracer()
+        with tracer.span("pass1"):
+            pass
+        out = buf.getvalue()
+        assert "pass1" in out and "wall=" in out

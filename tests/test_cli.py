@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _profile_path, build_parser, main
 
 
 class TestParser:
@@ -15,6 +17,33 @@ class TestParser:
         assert args.circuit == "S5378"
         assert args.scale == 0.05
         assert not args.baseline
+
+    def test_verbose_flag_counts(self):
+        assert build_parser().parse_args(["circuits"]).verbose == 0
+        args = build_parser().parse_args(["-vv", "circuits"])
+        assert args.verbose == 2
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestProfilePath:
+    """compare --profile splices the label before the extension."""
+
+    def test_json_suffix_spliced(self):
+        assert _profile_path("foo.json", "baseline") == "foo_baseline.json"
+        assert (
+            _profile_path("out/foo.json", "stitch-aware")
+            == "out/foo_stitch-aware.json"
+        )
+
+    def test_bare_prefix_gets_extension(self):
+        assert _profile_path("trace", "baseline") == "trace_baseline.json"
+
+    def test_non_json_suffix_kept_in_stem(self):
+        # A dotted prefix that is not .json is part of the name.
+        assert _profile_path("v1.2", "baseline") == "v1.2_baseline.json"
 
 
 class TestCommands:
@@ -50,3 +79,110 @@ class TestCommands:
         assert main(["compare", "S9234", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "stitch-aware" in out and "baseline" in out
+
+    def test_compare_profile_writes_unmangled_names(self, capsys, tmp_path):
+        prefix = tmp_path / "foo.json"
+        assert main([
+            "compare", "S9234", "--scale", "0.02", "--profile", str(prefix),
+        ]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "foo_baseline.json").exists()
+        assert (tmp_path / "foo_stitch-aware.json").exists()
+        assert not (tmp_path / "foo.json_baseline.json").exists()
+
+    def test_diag_histogram_totals_match_report(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main([
+            "diag", "S9234", "--scale", "0.02", "--baseline",
+            "--report", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "violations per stitching line" in out
+        doc = json.loads(report_path.read_text())
+        hist_vv = sum(
+            kinds["via"] for kinds in doc["stitch_histogram"].values()
+        )
+        hist_sp = sum(
+            kinds["short-polygon"]
+            for kinds in doc["stitch_histogram"].values()
+        )
+        assert hist_vv == doc["via_violations"]
+        assert hist_sp == doc["short_polygons"]
+
+    def test_verbose_route_streams_progress(self, capsys):
+        import logging
+
+        from repro.observe import TRACE_LOGGER_NAME
+
+        logger = logging.getLogger(TRACE_LOGGER_NAME)
+        saved = (list(logger.handlers), logger.level, logger.propagate)
+        try:
+            assert main(["-v", "route", "S9234", "--scale", "0.02"]) == 0
+            err = capsys.readouterr().err
+            assert "repro.trace" in err and "wall=" in err
+        finally:
+            logger.handlers, logger.level, logger.propagate = saved
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def traces(self, tmp_path, capsys):
+        prefix = tmp_path / "t.json"
+        main(["compare", "S9234", "--scale", "0.02", "--profile", str(prefix)])
+        capsys.readouterr()
+        return (
+            tmp_path / "t_baseline.json",
+            tmp_path / "t_stitch-aware.json",
+        )
+
+    def test_show(self, traces, capsys):
+        base, _aware = traces
+        assert main(["trace", "show", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "detailed-route" in out and "BaselineRouter" in out
+
+    def test_top(self, traces, capsys):
+        base, _aware = traces
+        assert main(["trace", "top", str(base), "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspots" in out
+        assert len(out.strip().splitlines()) <= 3 + 3  # title + header rows
+
+    def test_diff_identical_exits_zero(self, traces, capsys):
+        base, _aware = traces
+        assert main(["trace", "diff", str(base), str(base)]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_diff_counter_regression_exits_nonzero(
+        self, traces, capsys, tmp_path
+    ):
+        base, _aware = traces
+        doc = json.loads(base.read_text())
+
+        def bump(spans):
+            for span in spans:
+                for name in span.get("counters", {}):
+                    span["counters"][name] += 10
+                    return True
+                if bump(span.get("children", [])):
+                    return True
+            return False
+
+        assert bump(doc["spans"])
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(doc))
+        assert main(["trace", "diff", str(base), str(tampered)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_diff_across_routers_detects_drift(self, traces, capsys):
+        base, aware = traces
+        assert main([
+            "trace", "diff", str(base), str(aware), "--no-wall",
+        ]) == 1
+        assert "counter" in capsys.readouterr().out
+
+    def test_markdown_rendering(self, traces, capsys):
+        base, _aware = traces
+        assert main(["trace", "show", str(base), "--markdown"]) == 0
+        assert "| --- |" in capsys.readouterr().out
