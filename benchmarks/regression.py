@@ -15,6 +15,16 @@ Exit status is non-zero on any regression, so CI can gate on it::
     PYTHONPATH=src python benchmarks/regression.py --only S9234    # one circuit
     PYTHONPATH=src python benchmarks/regression.py --no-wall       # counters only
     PYTHONPATH=src python benchmarks/regression.py --update        # refresh baselines
+    PYTHONPATH=src python benchmarks/regression.py --workers 4     # parallel gate
+
+``--workers N`` routes with the parallel net-batch engine and diffs
+the result against the *same serial baselines*: the engine's
+determinism contract means no routing counter may move (only its own
+``parallel_*`` scheduling counters are stripped — they have no serial
+counterpart).  It also runs serially and prints the per-circuit
+wall-clock speedup (on GIL-bound pure-Python workloads expect ~1.0x;
+see ``docs/parallelism.md``).  Combine with ``--no-wall`` when the
+committed wall times come from other hardware.
 
 Baseline refresh procedure (after an *intentional* behavior change):
 run with ``--update``, eyeball ``git diff benchmarks/baselines/`` to
@@ -33,6 +43,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.benchmarks_gen import mcnc_design
+from repro.config import RouterConfig
 from repro.core import BaselineRouter, StitchAwareRouter
 from repro.observe import (
     DiffThresholds,
@@ -63,14 +74,46 @@ def baseline_path(circuit: str) -> pathlib.Path:
     return BASELINE_DIR / f"BENCH_{circuit}.json"
 
 
-def run_circuit(circuit: str) -> Dict[str, RunTrace]:
+def run_circuit(circuit: str, workers: int = 1) -> Dict[str, RunTrace]:
     """Route one gate circuit with every router; traces keyed by label."""
     scale = CIRCUITS[circuit]
+    config = RouterConfig(workers=workers)
     traces: Dict[str, RunTrace] = {}
     for label, router_cls in ROUTERS.items():
         design = mcnc_design(circuit, scale)
-        traces[label] = router_cls().route(design).trace
+        traces[label] = router_cls(config=config).route(design).trace
     return traces
+
+
+def strip_parallel_counters(trace: RunTrace) -> RunTrace:
+    """A copy of ``trace`` without the ``parallel_*`` bookkeeping.
+
+    The parallel engine's determinism contract covers the *routing*
+    counters (they match the serial run exactly — that is what the
+    differential suite proves); its own scheduling counters (batches,
+    conflicts, pooled tasks) have no serial counterpart, so a parallel
+    gate run strips them before diffing against the serial baseline.
+    """
+    doc = trace.to_dict()
+
+    def scrub(span: dict) -> None:
+        counters = span.get("counters")
+        if counters:
+            for key in [k for k in counters if k.startswith("parallel_")]:
+                del counters[key]
+            if not counters:
+                del span["counters"]
+        for child in span.get("children", ()):
+            scrub(child)
+
+    for span in doc["spans"]:
+        scrub(span)
+    doc["counters"] = {
+        k: v
+        for k, v in doc["counters"].items()
+        if not k.startswith("parallel_")
+    }
+    return RunTrace.from_dict(doc)
 
 
 def save_traces(path: pathlib.Path, traces: Dict[str, RunTrace]) -> None:
@@ -152,7 +195,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also write the freshly produced traces there (CI artifacts)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="route with N worker threads and verify the parallel runs "
+        "against the serial baselines (parallel_* scheduling counters "
+        "are stripped; everything else must match exactly).  Also runs "
+        "serially and reports the wall-clock speedup per circuit.",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.update and args.workers > 1:
+        parser.error("baselines are serial; refusing --update with --workers")
 
     circuits = args.only or list(CIRCUITS)
     unknown = [c for c in circuits if c not in CIRCUITS]
@@ -168,7 +225,35 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     failures: List[str] = []
     for circuit in circuits:
-        traces = run_circuit(circuit)
+        traces = run_circuit(circuit, args.workers)
+        if args.workers > 1:
+            serial = run_circuit(circuit)
+            speedups = {}
+            for label, parallel_trace in traces.items():
+                s = serial[label].wall_seconds
+                p = parallel_trace.wall_seconds
+                ratio = s / p if p > 0 else 0.0
+                speedups[label] = {
+                    "serial_wall_seconds": round(s, 4),
+                    "parallel_wall_seconds": round(p, 4),
+                    "workers": args.workers,
+                    "speedup": round(ratio, 3),
+                }
+                print(
+                    f"{circuit}/{label}: serial {s:.3f}s, "
+                    f"workers={args.workers} {p:.3f}s, speedup x{ratio:.2f}"
+                )
+            if args.out_dir:
+                out = pathlib.Path(args.out_dir) / f"SPEEDUP_{circuit}.json"
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(
+                    json.dumps(speedups, indent=2, sort_keys=True) + "\n"
+                )
+                print(f"wrote {out}")
+            traces = {
+                label: strip_parallel_counters(trace)
+                for label, trace in traces.items()
+            }
         if args.out_dir:
             out = pathlib.Path(args.out_dir) / f"BENCH_{circuit}.json"
             save_traces(out, traces)

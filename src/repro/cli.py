@@ -30,6 +30,7 @@ from .benchmarks_gen import (
     faraday_design,
     mcnc_design,
 )
+from .config import RouterConfig
 from .core import BaselineRouter, StitchAwareRouter
 from .eval import RoutingReport
 from .io import save_design, save_report
@@ -84,9 +85,19 @@ def _cmd_circuits(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_config(args: argparse.Namespace) -> RouterConfig:
+    """The flow config for a run subcommand (currently ``--workers``)."""
+    return RouterConfig(workers=args.workers)
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     design = _get_design(args.circuit, args.scale)
-    router = BaselineRouter() if args.baseline else StitchAwareRouter()
+    config = _run_config(args)
+    router = (
+        BaselineRouter(config=config)
+        if args.baseline
+        else StitchAwareRouter(config=config)
+    )
     flow = router.route(design, tracer=_make_tracer(args))
     report = flow.report
     print(
@@ -117,10 +128,11 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     design = _get_design(args.circuit, args.scale)
+    config = _run_config(args)
     rows = []
     for label, router in (
-        ("baseline", BaselineRouter()),
-        ("stitch-aware", StitchAwareRouter()),
+        ("baseline", BaselineRouter(config=config)),
+        ("stitch-aware", StitchAwareRouter(config=config)),
     ):
         flow = router.route(design, tracer=_make_tracer(args))
         report = flow.report
@@ -160,7 +172,12 @@ def _histogram_rows(report: RoutingReport) -> List[dict]:
 
 def _cmd_diag(args: argparse.Namespace) -> int:
     design = _get_design(args.circuit, args.scale)
-    router = BaselineRouter() if args.baseline else StitchAwareRouter()
+    config = _run_config(args)
+    router = (
+        BaselineRouter(config=config)
+        if args.baseline
+        else StitchAwareRouter(config=config)
+    )
     flow = router.route(design, tracer=_make_tracer(args))
     report = flow.report
     print(
@@ -249,10 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
     circuits = sub.add_parser("circuits", help="list benchmark circuits")
     circuits.set_defaults(func=_cmd_circuits)
 
+    def _workers_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="routing worker threads (1 = serial; N > 1 routes "
+            "conflict-free net batches concurrently with identical "
+            "results, see docs/parallelism.md)",
+        )
+
     route = sub.add_parser("route", help="route one circuit")
     route.add_argument("circuit")
     route.add_argument("--scale", type=float, default=0.05)
     route.add_argument("--baseline", action="store_true")
+    _workers_flag(route)
     route.add_argument("--svg", help="write the routing plot")
     route.add_argument("--report", help="write the JSON violation report")
     route.add_argument("--save-design", help="write the design snapshot")
@@ -268,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="baseline vs stitch-aware")
     compare.add_argument("circuit")
     compare.add_argument("--scale", type=float, default=0.05)
+    _workers_flag(compare)
     compare.add_argument(
         "--profile",
         nargs="?",
@@ -285,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("circuit")
     diag.add_argument("--scale", type=float, default=0.05)
     diag.add_argument("--baseline", action="store_true")
+    _workers_flag(diag)
     diag.add_argument(
         "--report", help="also write the JSON report (with attributions)"
     )

@@ -59,6 +59,11 @@ class RouterConfig:
         max_ripup_iterations: rip-up and re-route rounds for failed nets.
         detail_expansion_limit: A* node-expansion budget per net and
             attempt; keeps worst-case detailed routing bounded.
+        workers: routing worker threads.  ``1`` (the default) runs the
+            unchanged serial code path; ``N > 1`` routes conflict-free
+            net batches concurrently and merges them deterministically,
+            so the report is byte-identical to the serial one (see
+            ``docs/parallelism.md``).
 
     Stage-policy attributes (consumed by the router constructors; the
     ablation switches of Tables IV and VIII):
@@ -84,6 +89,7 @@ class RouterConfig:
     gamma: float = 5.0
     max_ripup_iterations: int = 5
     detail_expansion_limit: int = 200_000
+    workers: int = 1
     track_method: TrackMethod = TrackMethod.GRAPH
     coloring: ColoringMethod = ColoringMethod.FLOW
     stitch_aware_global: bool = True
@@ -113,6 +119,10 @@ class RouterConfig:
             raise ValueError("tile_size must be at least 2 pitches")
         if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
             raise ValueError("cost weights must be non-negative")
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ValueError(f"workers must be an int, got {self.workers!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {self.workers}")
 
 
 DEFAULT_CONFIG = RouterConfig()

@@ -161,7 +161,8 @@ class StitchAwareRouter:
             # Pass 1: bottom-up global routing of local nets first; the
             # router re-derives the same bottom-up order internally.
             return GlobalRouter(
-                stitch_aware=config.stitch_aware_global
+                stitch_aware=config.stitch_aware_global,
+                workers=config.workers,
             ).route(d, tracer=tracer)
 
         def assign_stage(d: Design, global_result: GlobalRoutingResult):
@@ -185,7 +186,8 @@ class StitchAwareRouter:
         def detail_stage(d: Design, global_result, assigned, ordered):
             _layers, tracks = assigned
             return DetailedRouter(
-                stitch_aware=config.stitch_aware_detail
+                stitch_aware=config.stitch_aware_detail,
+                workers=config.workers,
             ).route(
                 d,
                 global_result.graph,
@@ -198,7 +200,9 @@ class StitchAwareRouter:
         # the global graph defines.
         nx, ny = GlobalGraph.grid_shape(design)
         scheme = MultilevelScheme(design, nx, ny)
-        framework = TwoPassFramework(global_stage, assign_stage, detail_stage)
+        framework = TwoPassFramework(
+            global_stage, assign_stage, detail_stage, workers=config.workers
+        )
         outcome = framework.run(design, scheme, tracer=tracer)
 
         layers, tracks = outcome.assign_result
@@ -213,6 +217,7 @@ class StitchAwareRouter:
                 "coloring": config.coloring.value,
                 "stitch_aware_global": config.stitch_aware_global,
                 "stitch_aware_detail": config.stitch_aware_detail,
+                "workers": config.workers,
             },
         )
         report.trace = trace

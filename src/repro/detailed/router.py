@@ -26,8 +26,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..assign import DesignTrackAssignment
 from ..globalroute import GlobalGraph
 from ..layout import Design, Net
-from ..observe import Tracer, ensure
+from ..observe import Span, Tracer, ensure
+from ..parallel import BatchExecutor, plan_batches
 from .grid import DetailedGrid, Node
+from .overlay import GridOverlay
 from .search import astar_connect, connection_window
 from .trunks import TrunkPiece, materialize_trunks
 from .wiring import (
@@ -84,10 +86,23 @@ class DetailedResult:
 
 
 class DetailedRouter:
-    """Two-pass detailed router over materialized trunks."""
+    """Two-pass detailed router over materialized trunks.
 
-    def __init__(self, stitch_aware: bool = True) -> None:
+    Args:
+        stitch_aware: include the beta/gamma costs of Eq. (10) and the
+            stitch-aware net ordering.
+        workers: worker threads for the first connection pass.  ``1``
+            keeps the serial loop; ``N > 1`` connects bbox-disjoint net
+            batches speculatively against :class:`GridOverlay` views
+            and merges them in canonical order, which is provably
+            result-identical to the serial loop (see
+            ``docs/parallelism.md``).  The rip-up loop and short-
+            polygon repair negotiate over shared state and stay serial.
+    """
+
+    def __init__(self, stitch_aware: bool = True, workers: int = 1) -> None:
         self.stitch_aware = stitch_aware
+        self.workers = workers
         #: A* search counters flushed into the tracer at stage end.
         self._search_stats: Dict[str, float] = {}
 
@@ -112,9 +127,28 @@ class DetailedRouter:
         tracer = ensure(tracer)
         start = time.perf_counter()
         self._search_stats = {}
+        pool = BatchExecutor(self.workers) if self.workers > 1 else None
+        try:
+            return self._route(
+                design, graph, assignment, order_hint, tracer, pool, start
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def _route(
+        self,
+        design: Design,
+        graph: GlobalGraph,
+        assignment: DesignTrackAssignment,
+        order_hint: Optional[Sequence[Net]],
+        tracer: Tracer,
+        pool: Optional[BatchExecutor],
+        start: float,
+    ) -> DetailedResult:
         with tracer.span(
             "detailed-route", nets=len(design.netlist)
-        ):
+        ) as stage:
             with tracer.span("grid-build"):
                 grid = DetailedGrid(design, stitch_aware=self.stitch_aware)
                 nets = list(order_hint) if order_hint is not None else sorted(
@@ -136,26 +170,11 @@ class DetailedRouter:
 
             routed: Dict[str, RoutedNet] = {}
             failed: List[str] = []
-            with tracer.span("first-pass"):
-                for net in order:
-                    ok, nodes, edges, victims = self._connect_net(
-                        design, grid, net, trunk_pieces
-                    )
-                    routed[net.name] = RoutedNet(
-                        net=net, nodes=nodes, edges=edges, routed=ok
-                    )
-                    tracer.count("nets_attempted")
-                    if not ok:
-                        failed.append(net.name)
-                    for victim in sorted(victims):
-                        if victim in routed and routed[victim].routed:
-                            routed[victim] = _strip_stolen(
-                                grid, routed[victim]
-                            )
-                            failed.append(victim)
-                        # Not-yet-routed victims lost trunk nodes only;
-                        # their own connection phase routes around the
-                        # gaps.
+            with tracer.span("first-pass") as span:
+                self._first_pass(
+                    design, grid, order, trunk_pieces, routed, failed,
+                    tracer, pool, span,
+                )
                 tracer.count("first_pass_failed", len(failed))
 
             failed = self._ripup_loop(
@@ -172,6 +191,11 @@ class DetailedRouter:
                 tracer.count(name, value)
             tracer.count("stitch_cost_evaluations", grid.cost_evaluations)
             tracer.count("failed_nets", len(failed))
+            if pool is not None:
+                stage.count("parallel_tasks", pool.tasks)
+                stage.gauge(
+                    "worker_utilization", round(pool.utilization(), 4)
+                )
 
         return DetailedResult(
             design=design,
@@ -179,6 +203,149 @@ class DetailedRouter:
             failed=failed,
             cpu_seconds=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------
+    # Net-batch scheduling (workers > 1)
+    # ------------------------------------------------------------------
+    def _first_pass(
+        self,
+        design: Design,
+        grid: DetailedGrid,
+        order: Sequence[Net],
+        trunk_pieces: Dict[str, List[TrunkPiece]],
+        routed: Dict[str, "RoutedNet"],
+        failed: List[str],
+        tracer: Tracer,
+        pool: Optional[BatchExecutor],
+        span: Span,
+    ) -> None:
+        """First connection pass, batched onto the pool when given.
+
+        The serial loop and the batched loop commit identical state:
+        batches hold bbox-disjoint nets connected speculatively against
+        a :class:`GridOverlay`, then merged in canonical net order — a
+        net whose ownership reads touch a node an earlier batch-mate
+        wrote is discarded and re-connected on the live grid, so every
+        committed route (and every committed counter) is the one the
+        serial loop would have produced.
+        """
+        if pool is None or len(order) < 2:
+            for net in order:
+                result = self._connect_net(design, grid, net, trunk_pieces)
+                self._commit_first_pass(
+                    grid, net, result, routed, failed, tracer
+                )
+            return
+
+        plan = plan_batches(
+            order,
+            rect_of=lambda n: self._net_pitch_rect(n, trunk_pieces),
+            expand=WINDOW_MARGINS[0] + 1,
+        )
+        conflicts = 0
+        for batch in plan:
+            if len(batch) == 1:
+                net = batch[0]
+                result = self._connect_net(design, grid, net, trunk_pieces)
+                self._commit_first_pass(
+                    grid, net, result, routed, failed, tracer
+                )
+                continue
+            results = pool.run(
+                lambda net: self._connect_speculative(
+                    design, grid, net, trunk_pieces
+                ),
+                batch,
+            )
+            written: Set[Node] = set()
+            for net, (result, overlay, stats) in zip(batch, results):
+                if overlay.read_nodes & written:
+                    # The speculative search read a node an earlier
+                    # batch-mate has since written; redo it serially
+                    # (through a write-through overlay so the exact
+                    # write set feeds later conflict checks).
+                    conflicts += 1
+                    live = GridOverlay(grid)
+                    result = self._connect_net(
+                        design, live, net, trunk_pieces
+                    )
+                    live.apply_to(grid, net.name)
+                    written |= live.write_nodes
+                else:
+                    overlay.apply_to(grid, net.name)
+                    written |= overlay.write_nodes
+                    for name, value in stats.items():
+                        self._search_stats[name] = (
+                            self._search_stats.get(name, 0) + value
+                        )
+                self._commit_first_pass(
+                    grid, net, result, routed, failed, tracer
+                )
+        span.count("parallel_batches", len(plan))
+        span.count("parallel_conflicts", conflicts)
+        span.gauge("parallel_max_batch_width", plan.max_width)
+        span.gauge("parallel_mean_batch_width", round(plan.mean_width, 3))
+
+    def _connect_speculative(
+        self,
+        design: Design,
+        grid: DetailedGrid,
+        net: Net,
+        trunk_pieces: Dict[str, List[TrunkPiece]],
+    ) -> Tuple[
+        Tuple[bool, Set[Node], Set[Edge], Set[str]],
+        GridOverlay,
+        Dict[str, float],
+    ]:
+        """Worker body: connect one net against an ownership overlay.
+
+        Returns the connection result (buffered, not yet on the live
+        grid), the overlay holding the write delta and the exact
+        read/write node sets, and the net's local search counters.
+        """
+        overlay = GridOverlay(grid)
+        stats: Dict[str, float] = {}
+        result = self._connect_net(
+            design, overlay, net, trunk_pieces, stats=stats
+        )
+        return result, overlay, stats
+
+    @staticmethod
+    def _net_pitch_rect(
+        net: Net, trunk_pieces: Dict[str, List[TrunkPiece]]
+    ) -> Tuple[int, int, int, int]:
+        """Inclusive pitch-space bbox of the net's pins and trunks."""
+        xs = [pin.location.x for pin in net.pins]
+        ys = [pin.location.y for pin in net.pins]
+        for piece in trunk_pieces.get(net.name, []):
+            for x, y, _layer in piece.nodes:
+                xs.append(x)
+                ys.append(y)
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def _commit_first_pass(
+        self,
+        grid: DetailedGrid,
+        net: Net,
+        result: Tuple[bool, Set[Node], Set[Edge], Set[str]],
+        routed: Dict[str, "RoutedNet"],
+        failed: List[str],
+        tracer: Tracer,
+    ) -> None:
+        """Record one first-pass outcome exactly as the serial loop does."""
+        ok, nodes, edges, victims = result
+        routed[net.name] = RoutedNet(
+            net=net, nodes=nodes, edges=edges, routed=ok
+        )
+        tracer.count("nets_attempted")
+        if not ok:
+            failed.append(net.name)
+        for victim in sorted(victims):
+            if victim in routed and routed[victim].routed:
+                routed[victim] = _strip_stolen(grid, routed[victim])
+                failed.append(victim)
+            # Not-yet-routed victims lost trunk nodes only; their own
+            # connection phase routes around the gaps.
 
     # ------------------------------------------------------------------
     def _ripup_loop(
@@ -429,13 +596,18 @@ class DetailedRouter:
         foreign_penalty: Optional[float] = None,
         allow_negotiation: bool = True,
         salvage: Optional[Tuple[List[Set[Node]], Set[Edge]]] = None,
+        stats: Optional[Dict[str, float]] = None,
     ) -> Tuple[bool, Set[Node], Set[Edge], Set[str]]:
         """Merge the net's pins and trunks into one component.
 
         Returns ``(ok, nodes, edges, victims)``; ``victims`` is the set
         of nets whose wire the path force-claimed (only non-empty when
-        ``foreign_penalty`` is given).
+        ``foreign_penalty`` is given).  ``stats`` overrides the search
+        counter sink (speculative workers keep local counters that are
+        merged only if their result is accepted).
         """
+        if stats is None:
+            stats = self._search_stats
         pin_components: List[Set[Node]] = []
         edges: Set[Edge] = set()
         victims: Set[str] = set()
@@ -535,7 +707,7 @@ class DetailedRouter:
                         limit,
                         blocked=blocked,
                         foreign_penalty=penalty,
-                        stats=self._search_stats,
+                        stats=stats,
                     )
                     if path is not None:
                         break

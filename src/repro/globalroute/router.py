@@ -20,13 +20,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms import steiner_tree_edges
 from ..layout import Design, Net
-from ..observe import Tracer, ensure
+from ..observe import Span, Tracer, ensure
+from ..parallel import BatchExecutor, plan_batches
 from .cost import edge_cost_if_used, vertex_cost_if_used
 from .graph import GlobalGraph, Tile
+from .overlay import GraphSnapshot, windows_hit
 
 #: Weight of one tile hop in the A* cost; small so congestion dominates
 #: but paths stay short when congestion is zero.
 WL_WEIGHT = 0.1
+
+#: Tile margin of the first (windowed) A* attempt around a subnet's
+#: endpoints; doubles as the batch planner's expansion: two nets whose
+#: bboxes stay this far apart cannot read each other's demand.
+ASTAR_WINDOW_MARGIN = 4
 
 #: Scale of the upfront vertex (line-end) congestion price.  Kept below
 #: 1 so that first-pass paths do not detour pre-emptively; rip-up
@@ -92,6 +99,11 @@ class GlobalRouter:
             instead of the plain spanning tree (optional wirelength
             improvement; the paper's experiments use the spanning
             tree, so this defaults to off).
+        workers: worker threads for net-batch routing.  ``1`` keeps
+            the serial loop; ``N > 1`` routes bbox-disjoint net batches
+            speculatively and merges them in canonical order, which is
+            provably result-identical to the serial loop (see
+            ``docs/parallelism.md``).
     """
 
     def __init__(
@@ -99,13 +111,12 @@ class GlobalRouter:
         stitch_aware: bool = True,
         ripup_rounds: int = 8,
         steiner: bool = False,
+        workers: int = 1,
     ) -> None:
         self.stitch_aware = stitch_aware
         self.ripup_rounds = ripup_rounds
         self.steiner = steiner
-        # Maze expansions of the current route() call; flushed into the
-        # tracer per phase (hot loops count locally, see _astar_in_window).
-        self._expansions = 0
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def route(
@@ -119,51 +130,64 @@ class GlobalRouter:
         """
         tracer = ensure(tracer)
         start = time.perf_counter()
-        with tracer.span("global-route") as stage:
-            with tracer.span("graph-build"):
-                graph = GlobalGraph(design)
-            order = self._bottom_up_order(design, graph)
+        pool = BatchExecutor(self.workers) if self.workers > 1 else None
+        try:
+            with tracer.span("global-route") as stage:
+                with tracer.span("graph-build"):
+                    graph = GlobalGraph(design)
+                order = self._bottom_up_order(design, graph)
 
-            routes: Dict[str, GlobalRoute] = {}
-            failed: List[str] = []
-            self._expansions = 0
-            with tracer.span("initial-pass") as span:
-                for net in order:
-                    route = self._route_net(graph, net)
-                    if route is None:
-                        failed.append(net.name)
-                    else:
-                        routes[net.name] = route
-                span.count("maze_expansions", self._expansions)
-                span.count("nets_routed", len(routes))
-                span.gauge("edge_overflow", graph.edge_overflow())
-                span.gauge("vertex_overflow", graph.total_vertex_overflow())
-
-            for round_index in range(self.ripup_rounds):
-                victims = self._overflow_victims(graph, routes)
-                if not victims:
-                    break
-                with tracer.span(
-                    "negotiation-round", round=round_index
-                ) as span:
-                    self._expansions = 0
-                    self._bump_history(graph)
-                    for name in victims:
-                        self._unplace(graph, routes.pop(name))
-                    for name in victims:
-                        net = design.netlist[name]
-                        route = self._route_net(graph, net)
-                        if route is None:
-                            failed.append(name)
-                        else:
-                            routes[name] = route
-                    span.count("maze_expansions", self._expansions)
-                    span.count("ripup_victims", len(victims))
+                routes: Dict[str, GlobalRoute] = {}
+                failed: List[str] = []
+                with tracer.span("initial-pass") as span:
+                    stats: Dict[str, float] = {}
+                    self._route_many(
+                        graph, order, routes, failed, stats, pool, span
+                    )
+                    span.count(
+                        "maze_expansions", stats.get("maze_expansions", 0)
+                    )
+                    span.count("nets_routed", len(routes))
                     span.gauge("edge_overflow", graph.edge_overflow())
                     span.gauge(
                         "vertex_overflow", graph.total_vertex_overflow()
                     )
-            stage.count("failed_nets", len(failed))
+
+                for round_index in range(self.ripup_rounds):
+                    victims = self._overflow_victims(graph, routes)
+                    if not victims:
+                        break
+                    with tracer.span(
+                        "negotiation-round", round=round_index
+                    ) as span:
+                        stats = {}
+                        self._bump_history(graph)
+                        for name in victims:
+                            self._unplace(graph, routes.pop(name))
+                        victim_nets = [
+                            design.netlist[name] for name in victims
+                        ]
+                        self._route_many(
+                            graph, victim_nets, routes, failed, stats,
+                            pool, span,
+                        )
+                        span.count(
+                            "maze_expansions", stats.get("maze_expansions", 0)
+                        )
+                        span.count("ripup_victims", len(victims))
+                        span.gauge("edge_overflow", graph.edge_overflow())
+                        span.gauge(
+                            "vertex_overflow", graph.total_vertex_overflow()
+                        )
+                stage.count("failed_nets", len(failed))
+                if pool is not None:
+                    stage.count("parallel_tasks", pool.tasks)
+                    stage.gauge(
+                        "worker_utilization", round(pool.utilization(), 4)
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         return GlobalRoutingResult(
             design=design,
@@ -172,6 +196,108 @@ class GlobalRouter:
             failed=failed,
             cpu_seconds=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------
+    # Net-batch scheduling (workers > 1)
+    # ------------------------------------------------------------------
+    def _route_many(
+        self,
+        graph: GlobalGraph,
+        nets: Sequence[Net],
+        routes: Dict[str, GlobalRoute],
+        failed: List[str],
+        stats: Dict[str, float],
+        pool: Optional[BatchExecutor],
+        span: Span,
+    ) -> None:
+        """Route ``nets`` in order, batching onto the pool when given.
+
+        The serial loop and the batched loop commit identical state:
+        batches hold bbox-disjoint nets routed speculatively against a
+        :class:`GraphSnapshot`, then merged in canonical net order —
+        a net whose search windows touch an earlier batch-mate's
+        placed tiles is discarded and re-routed on the live graph, so
+        every committed route (and every committed counter) is the one
+        the serial loop would have produced.
+        """
+        if pool is None or len(nets) < 2:
+            for net in nets:
+                self._commit(routes, failed, net, self._route_net(graph, net, stats))
+            return
+
+        plan = plan_batches(
+            nets,
+            rect_of=lambda n: self._net_tile_rect(graph, n),
+            expand=ASTAR_WINDOW_MARGIN,
+        )
+        conflicts = 0
+        for batch in plan:
+            if len(batch) == 1:
+                net = batch[0]
+                self._commit(
+                    routes, failed, net, self._route_net(graph, net, stats)
+                )
+                continue
+            results = pool.run(
+                lambda net: self._route_speculative(graph, net), batch
+            )
+            written: set = set()
+            for net, (route, net_stats, windows) in zip(batch, results):
+                if windows_hit(windows, written):
+                    # The speculative search read state an earlier
+                    # batch-mate has since changed; redo it serially.
+                    conflicts += 1
+                    route = self._route_net(graph, net, stats)
+                else:
+                    for name, value in net_stats.items():
+                        stats[name] = stats.get(name, 0) + value
+                    if route is not None:
+                        for path in route.paths:
+                            self._place_path(graph, path)
+                if route is not None:
+                    written.update(t for p in route.paths for t in p)
+                self._commit(routes, failed, net, route)
+        span.count("parallel_batches", len(plan))
+        span.count("parallel_conflicts", conflicts)
+        span.gauge("parallel_max_batch_width", plan.max_width)
+        span.gauge("parallel_mean_batch_width", round(plan.mean_width, 3))
+
+    def _route_speculative(
+        self, graph: GlobalGraph, net: Net
+    ) -> Tuple[Optional[GlobalRoute], Dict[str, float], List[Tuple[int, int, int, int]]]:
+        """Worker body: route one net against a demand snapshot.
+
+        Returns the route (not yet placed on the live graph), the
+        net's local search counters, and every A* window searched —
+        the declared read region the merge loop validates.
+        """
+        snapshot = GraphSnapshot(graph)
+        stats: Dict[str, float] = {}
+        windows: List[Tuple[int, int, int, int]] = []
+        route = self._route_net(snapshot, net, stats, windows)
+        return route, stats, windows
+
+    def _net_tile_rect(
+        self, graph: GlobalGraph, net: Net
+    ) -> Tuple[int, int, int, int]:
+        """Inclusive tile-space bbox of the net's pins."""
+        box = net.bbox
+        lo = graph.tile_of(box.lo_x, box.lo_y)
+        hi = graph.tile_of(box.hi_x, box.hi_y)
+        return (lo[0], lo[1], hi[0], hi[1])
+
+    @staticmethod
+    def _commit(
+        routes: Dict[str, GlobalRoute],
+        failed: List[str],
+        net: Net,
+        route: Optional[GlobalRoute],
+    ) -> None:
+        """Record one routing outcome exactly as the serial loop does."""
+        if route is None:
+            failed.append(net.name)
+        else:
+            routes[net.name] = route
 
     # ------------------------------------------------------------------
     # Net ordering and decomposition
@@ -235,11 +361,25 @@ class GlobalRouter:
     # ------------------------------------------------------------------
     # Single-net routing
     # ------------------------------------------------------------------
-    def _route_net(self, graph: GlobalGraph, net: Net) -> Optional[GlobalRoute]:
+    def _route_net(
+        self,
+        graph: GlobalGraph,
+        net: Net,
+        stats: Optional[Dict[str, float]] = None,
+        windows: Optional[List[Tuple[int, int, int, int]]] = None,
+    ) -> Optional[GlobalRoute]:
+        """Route one net on ``graph`` (live graph or worker snapshot).
+
+        ``stats`` accumulates the net's maze expansions; ``windows``,
+        when given, collects every searched window — speculative
+        callers use it as the net's read footprint.
+        """
+        if stats is None:
+            stats = {}
         subnets = self.two_pin_subnets(net, graph)
         paths: List[List[Tile]] = []
         for src, dst in subnets:
-            path = self._astar(graph, src, dst)
+            path = self._astar(graph, src, dst, stats, windows)
             if path is None:
                 for placed in paths:
                     self._unplace_path(graph, placed)
@@ -249,18 +389,29 @@ class GlobalRouter:
         return GlobalRoute(net=net, paths=paths)
 
     def _astar(
-        self, graph: GlobalGraph, src: Tile, dst: Tile
+        self,
+        graph: GlobalGraph,
+        src: Tile,
+        dst: Tile,
+        stats: Optional[Dict[str, float]] = None,
+        windows: Optional[List[Tuple[int, int, int, int]]] = None,
     ) -> Optional[List[Tile]]:
-        margin = 4
+        if stats is None:
+            stats = {}
+        margin = ASTAR_WINDOW_MARGIN
         lo_x = max(0, min(src[0], dst[0]) - margin)
         hi_x = min(graph.nx - 1, max(src[0], dst[0]) + margin)
         lo_y = max(0, min(src[1], dst[1]) - margin)
         hi_y = min(graph.ny - 1, max(src[1], dst[1]) + margin)
-        path = self._astar_in_window(graph, src, dst, (lo_x, lo_y, hi_x, hi_y))
+        window = (lo_x, lo_y, hi_x, hi_y)
+        if windows is not None:
+            windows.append(window)
+        path = self._astar_in_window(graph, src, dst, window, stats)
         if path is None:
-            path = self._astar_in_window(
-                graph, src, dst, (0, 0, graph.nx - 1, graph.ny - 1)
-            )
+            full = (0, 0, graph.nx - 1, graph.ny - 1)
+            if windows is not None:
+                windows.append(full)
+            path = self._astar_in_window(graph, src, dst, full, stats)
         return path
 
     def _astar_in_window(
@@ -269,6 +420,7 @@ class GlobalRouter:
         src: Tile,
         dst: Tile,
         window: Tuple[int, int, int, int],
+        stats: Dict[str, float],
     ) -> Optional[List[Tile]]:
         """Direction-aware A* between two tiles.
 
@@ -326,7 +478,7 @@ class GlobalRouter:
                     heapq.heappush(
                         heap, (candidate + heuristic(succ), candidate, succ_state)
                     )
-        self._expansions += expansions
+        stats["maze_expansions"] = stats.get("maze_expansions", 0) + expansions
         if goal is None:
             return None
         return self._reconstruct(parent, start, goal)

@@ -1,0 +1,180 @@
+"""Conflict-aware net batching for parallel routing.
+
+Negotiation-based routers are order-sensitive: net *n* prices its path
+against the demand left by nets 1..n-1, so running nets concurrently
+silently changes the result unless their searches cannot observe each
+other.  The stripe/panel locality of the MEBL layout (and of routed
+layouts in general) makes that separation natural: most nets are local,
+and two nets whose *expanded* bounding boxes are disjoint read and
+write disjoint parts of the routing state.
+
+:func:`plan_batches` partitions an ordered net list into **batches**:
+
+* nets inside one batch have pairwise-disjoint expanded bboxes and may
+  route concurrently;
+* nets whose expanded bboxes overlap keep their original relative order
+  across batches (the later net lands in a strictly later batch, so it
+  sees the earlier net's demand exactly as the serial router would);
+* concatenating the batches yields a permutation of the input, and the
+  relative input order is preserved *within* every batch.
+
+The expansion margin is the planner's promise about how far a net's
+search may read beyond its bbox.  Searches that escalate beyond it
+(window growth, full-grid fallback) are caught at merge time by the
+routers' read/write-footprint validation — the plan is a heuristic for
+throughput, never the correctness argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple, TypeVar
+
+from ..geometry.interval import Interval
+
+T = TypeVar("T")
+
+#: An inclusive axis-aligned rectangle ``(lo_x, lo_y, hi_x, hi_y)``.
+Rect = Tuple[int, int, int, int]
+
+
+def expand_rect(rect: Rect, margin: int) -> Rect:
+    """``rect`` grown by ``margin`` on every side (negative shrinks)."""
+    lo_x, lo_y, hi_x, hi_y = rect
+    return (lo_x - margin, lo_y - margin, hi_x + margin, hi_y + margin)
+
+
+def rects_overlap(a: Rect, b: Rect) -> bool:
+    """Whether two inclusive rectangles share at least one point.
+
+    A rectangle overlap is two independent closed-interval overlaps —
+    the 1-D law :meth:`~repro.geometry.interval.Interval.overlaps` the
+    planner (and its property suite) relies on.
+    """
+    return Interval(a[0], a[2]).overlaps(Interval(b[0], b[2])) and Interval(
+        a[1], a[3]
+    ).overlaps(Interval(b[1], b[3]))
+
+
+@dataclasses.dataclass
+class BatchPlan(Sequence):
+    """The planner's output: ordered batches of concurrently-safe items.
+
+    Attributes:
+        batches: the partition, in execution order; each batch keeps
+            the input's relative order.
+        expand: the margin the item rects were grown by.
+    """
+
+    batches: List[List[T]]
+    expand: int = 0
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __getitem__(self, index):
+        return self.batches[index]
+
+    def __iter__(self) -> Iterator[List[T]]:
+        return iter(self.batches)
+
+    @property
+    def num_items(self) -> int:
+        """Total items over all batches."""
+        return sum(len(b) for b in self.batches)
+
+    @property
+    def max_width(self) -> int:
+        """Size of the widest batch (1 = fully serialized)."""
+        return max((len(b) for b in self.batches), default=0)
+
+    @property
+    def mean_width(self) -> float:
+        """Average batch size — the plan's available parallelism."""
+        if not self.batches:
+            return 0.0
+        return self.num_items / len(self.batches)
+
+    @property
+    def parallel_items(self) -> int:
+        """Items in batches of width > 1 (candidates for worker threads)."""
+        return sum(len(b) for b in self.batches if len(b) > 1)
+
+
+class _SpatialHash:
+    """Coarse-cell index of rects for overlap queries.
+
+    Buckets rects by the cells they cover; a query visits only the
+    buckets its own rect covers, so planning stays near-linear for the
+    local-net-dominated distributions routers actually see.
+    """
+
+    def __init__(self, cell: int) -> None:
+        self._cell = max(1, cell)
+        self._buckets: Dict[Tuple[int, int], List[int]] = {}
+
+    def _cells(self, rect: Rect) -> Iterator[Tuple[int, int]]:
+        c = self._cell
+        for cx in range(rect[0] // c, rect[2] // c + 1):
+            for cy in range(rect[1] // c, rect[3] // c + 1):
+                yield (cx, cy)
+
+    def add(self, rect: Rect, index: int) -> None:
+        for cell in self._cells(rect):
+            self._buckets.setdefault(cell, []).append(index)
+
+    def query(self, rect: Rect) -> Iterator[int]:
+        """Indices of previously added rects that may overlap ``rect``."""
+        seen = set()
+        for cell in self._cells(rect):
+            for index in self._buckets.get(cell, ()):
+                if index not in seen:
+                    seen.add(index)
+                    yield index
+
+
+def plan_batches(
+    items: Sequence[T],
+    rect_of: Callable[[T], Rect],
+    expand: int = 0,
+    cell: int = 32,
+) -> BatchPlan:
+    """Partition ``items`` into conflict-free batches.
+
+    Args:
+        items: the nets (or any work units) in canonical serial order.
+        rect_of: maps an item to its inclusive bounding rectangle.
+        expand: margin added to every rect before overlap testing —
+            the search-window allowance around a net's bbox.
+        cell: spatial-hash bucket edge length (tuning only).
+
+    Returns:
+        A :class:`BatchPlan`.  Each item lands in the earliest batch
+        that keeps both invariants: no overlap with a batch-mate, and
+        strictly after every earlier item it overlaps.
+    """
+    rects: List[Rect] = []
+    batch_index: List[int] = []
+    batches: List[List[T]] = []
+    index = _SpatialHash(cell)
+    for i, item in enumerate(items):
+        rect = expand_rect(rect_of(item), expand)
+        # The item must come after every earlier overlapping item: its
+        # search would otherwise miss their demand.
+        target = 0
+        for j in index.query(rect):
+            if rects_overlap(rect, rects[j]):
+                target = max(target, batch_index[j] + 1)
+        rects.append(rect)
+        batch_index.append(target)
+        index.add(rect, i)
+        while len(batches) <= target:
+            batches.append([])
+        batches[target].append(item)
+    return BatchPlan(batches=batches, expand=expand)
+
+
+def net_rect(net) -> Rect:
+    """Inclusive pin bounding box of a :class:`~repro.layout.Net`."""
+    box = net.bbox
+    return (box.lo_x, box.lo_y, box.hi_x, box.hi_y)

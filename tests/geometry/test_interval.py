@@ -103,3 +103,59 @@ class TestOverlappingPairs:
             if ivs[i].overlaps(ivs[j])
         )
         assert overlapping_pairs(ivs) == expected
+
+
+class TestMergeLaws:
+    """Overlap/merge algebra the batch planner builds on."""
+
+    @given(interval_strategy(), interval_strategy())
+    def test_union_span_covers_both(self, a, b):
+        u = a.union_span(b)
+        for iv in (a, b):
+            assert u.lo <= iv.lo and iv.hi <= u.hi
+
+    @given(interval_strategy(), interval_strategy())
+    def test_union_span_commutative(self, a, b):
+        assert a.union_span(b) == b.union_span(a)
+
+    @given(interval_strategy(), interval_strategy(), interval_strategy())
+    def test_union_span_associative(self, a, b, c):
+        assert a.union_span(b).union_span(c) == a.union_span(
+            b.union_span(c)
+        )
+
+    @given(interval_strategy())
+    def test_union_and_intersection_idempotent(self, a):
+        assert a.union_span(a) == a
+        assert a.intersection(a) == a
+
+    @given(interval_strategy(), interval_strategy())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(interval_strategy(), interval_strategy())
+    def test_union_span_minimal(self, a, b):
+        # Shrinking the span from either end uncovers an endpoint.
+        u = a.union_span(b)
+        lo_covered = any(iv.lo == u.lo for iv in (a, b))
+        hi_covered = any(iv.hi == u.hi for iv in (a, b))
+        assert lo_covered and hi_covered
+
+    @given(interval_strategy(), interval_strategy())
+    def test_overlap_iff_union_shorter_than_sum(self, a, b):
+        # Closed integer intervals: they share a point exactly when
+        # the covering span is shorter than the summed lengths.
+        assert a.overlaps(b) == (
+            a.union_span(b).length < a.length + b.length
+        )
+
+    @given(
+        interval_strategy(),
+        interval_strategy(),
+        st.integers(min_value=-25, max_value=25),
+    )
+    def test_shift_invariance(self, a, b, delta):
+        assert a.overlaps(b) == a.shifted(delta).overlaps(b.shifted(delta))
+        assert a.union_span(b).shifted(delta) == a.shifted(delta).union_span(
+            b.shifted(delta)
+        )

@@ -1,0 +1,152 @@
+"""Property tests for the conflict-aware net-batch planner.
+
+The planner's three invariants (every item in exactly one batch, no
+in-batch overlap, concatenation is an order-preserving permutation)
+are the scheduling half of the serial-equivalence argument in
+``docs/parallelism.md`` — so they are checked exhaustively here.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    BatchPlan,
+    expand_rect,
+    plan_batches,
+    rects_overlap,
+)
+
+
+def rect_strategy(span=60, extent=12):
+    """Inclusive rects with small coordinates (overlap-rich)."""
+    return st.tuples(
+        st.integers(min_value=-span, max_value=span),
+        st.integers(min_value=-span, max_value=span),
+        st.integers(min_value=0, max_value=extent),
+        st.integers(min_value=0, max_value=extent),
+    ).map(lambda t: (t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+rect_lists = st.lists(rect_strategy(), max_size=40)
+expands = st.integers(min_value=0, max_value=8)
+
+
+class TestRectHelpers:
+    def test_expand_rect(self):
+        assert expand_rect((1, 2, 3, 4), 2) == (-1, 0, 5, 6)
+        assert expand_rect((1, 2, 3, 4), 0) == (1, 2, 3, 4)
+
+    def test_rects_overlap_touching(self):
+        # Inclusive rects: sharing an edge point counts as overlap.
+        assert rects_overlap((0, 0, 2, 2), (2, 2, 4, 4))
+        assert not rects_overlap((0, 0, 2, 2), (3, 0, 4, 2))
+
+    @given(rect_strategy(), rect_strategy())
+    def test_overlap_symmetric(self, a, b):
+        assert rects_overlap(a, b) == rects_overlap(b, a)
+
+    @given(rect_strategy(), rect_strategy(), expands)
+    def test_expansion_preserves_overlap(self, a, b, margin):
+        # Growing both rects can only create overlaps, never remove.
+        if rects_overlap(a, b):
+            assert rects_overlap(
+                expand_rect(a, margin), expand_rect(b, margin)
+            )
+
+    @given(rect_strategy(), rect_strategy())
+    def test_overlap_matches_point_membership(self, a, b):
+        brute = any(
+            a[0] <= x <= a[2]
+            and a[1] <= y <= a[3]
+            for x in range(b[0], b[2] + 1)
+            for y in range(b[1], b[3] + 1)
+        )
+        assert rects_overlap(a, b) == brute
+
+
+class TestPlannerInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(rect_lists, expands)
+    def test_every_item_in_exactly_one_batch(self, rects, expand):
+        items = list(range(len(rects)))
+        plan = plan_batches(items, rect_of=lambda i: rects[i], expand=expand)
+        flat = [i for batch in plan for i in batch]
+        assert sorted(flat) == items
+        assert plan.num_items == len(items)
+
+    @settings(max_examples=200, deadline=None)
+    @given(rect_lists, expands)
+    def test_no_in_batch_overlaps(self, rects, expand):
+        items = list(range(len(rects)))
+        plan = plan_batches(items, rect_of=lambda i: rects[i], expand=expand)
+        for batch in plan:
+            for i, j in itertools.combinations(batch, 2):
+                assert not rects_overlap(
+                    expand_rect(rects[i], expand),
+                    expand_rect(rects[j], expand),
+                )
+
+    @settings(max_examples=200, deadline=None)
+    @given(rect_lists, expands)
+    def test_concatenation_preserves_relative_order(self, rects, expand):
+        """Within a batch, items keep the input's relative order."""
+        items = list(range(len(rects)))
+        plan = plan_batches(items, rect_of=lambda i: rects[i], expand=expand)
+        for batch in plan:
+            assert list(batch) == sorted(batch)
+
+    @settings(max_examples=200, deadline=None)
+    @given(rect_lists, expands)
+    def test_overlapping_pairs_strictly_ordered(self, rects, expand):
+        """The later of two overlapping items lands in a later batch."""
+        items = list(range(len(rects)))
+        plan = plan_batches(items, rect_of=lambda i: rects[i], expand=expand)
+        batch_of = {
+            item: b for b, batch in enumerate(plan) for item in batch
+        }
+        for i, j in itertools.combinations(items, 2):
+            if rects_overlap(
+                expand_rect(rects[i], expand), expand_rect(rects[j], expand)
+            ):
+                assert batch_of[i] < batch_of[j]
+
+    @settings(max_examples=100, deadline=None)
+    @given(rect_lists)
+    def test_small_cells_agree_with_large(self, rects):
+        """The spatial hash's cell size never changes the plan."""
+        items = list(range(len(rects)))
+        small = plan_batches(items, rect_of=lambda i: rects[i], cell=1)
+        large = plan_batches(items, rect_of=lambda i: rects[i], cell=500)
+        assert small.batches == large.batches
+
+
+class TestBatchPlanStats:
+    def test_empty_plan(self):
+        plan = plan_batches([], rect_of=lambda i: i)
+        assert len(plan) == 0
+        assert plan.num_items == 0
+        assert plan.max_width == 0
+        assert plan.mean_width == 0.0
+        assert plan.parallel_items == 0
+
+    def test_disjoint_items_share_one_batch(self):
+        rects = [(0, 0, 1, 1), (10, 10, 11, 11), (20, 0, 21, 1)]
+        plan = plan_batches([0, 1, 2], rect_of=lambda i: rects[i])
+        assert plan.batches == [[0, 1, 2]]
+        assert plan.max_width == 3
+        assert plan.parallel_items == 3
+
+    def test_identical_rects_fully_serialize(self):
+        plan = plan_batches([0, 1, 2], rect_of=lambda i: (0, 0, 4, 4))
+        assert plan.batches == [[0], [1], [2]]
+        assert plan.max_width == 1
+        assert plan.mean_width == 1.0
+        assert plan.parallel_items == 0
+
+    def test_sequence_protocol(self):
+        plan = BatchPlan(batches=[[0], [1, 2]])
+        assert len(plan) == 2
+        assert plan[1] == [1, 2]
+        assert [b for b in plan] == [[0], [1, 2]]
