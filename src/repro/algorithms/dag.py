@@ -8,9 +8,9 @@ induces a partial order on non-overlapping intervals.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from collections.abc import Hashable, Iterable, Sequence
 
-Edge = Tuple[Hashable, Hashable, float]
+Edge = tuple[Hashable, Hashable, float]
 
 
 class CycleError(ValueError):
@@ -19,15 +19,15 @@ class CycleError(ValueError):
 
 def topological_order(
     vertices: Sequence[Hashable], edges: Iterable[Edge]
-) -> List[Hashable]:
+) -> list[Hashable]:
     """Kahn's algorithm; raises :class:`CycleError` on cycles."""
-    indegree: Dict[Hashable, int] = {v: 0 for v in vertices}
-    out: Dict[Hashable, List[Hashable]] = {v: [] for v in vertices}
+    indegree: dict[Hashable, int] = {v: 0 for v in vertices}
+    out: dict[Hashable, list[Hashable]] = {v: [] for v in vertices}
     for u, v, _ in edges:
         out[u].append(v)
         indegree[v] += 1
     queue = [v for v in vertices if indegree[v] == 0]
-    order: List[Hashable] = []
+    order: list[Hashable] = []
     while queue:
         node = queue.pop()
         order.append(node)
@@ -44,17 +44,17 @@ def longest_path_lengths(
     vertices: Sequence[Hashable],
     edges: Sequence[Edge],
     sources: Iterable[Hashable],
-) -> Dict[Hashable, float]:
+) -> dict[Hashable, float]:
     """Longest path distance from any source to every reachable vertex.
 
     Unreachable vertices are absent from the result.  Edge weights may
     be any floats; the graph must be acyclic.
     """
     order = topological_order(vertices, edges)
-    out: Dict[Hashable, List[Tuple[Hashable, float]]] = {v: [] for v in vertices}
+    out: dict[Hashable, list[tuple[Hashable, float]]] = {v: [] for v in vertices}
     for u, v, w in edges:
         out[u].append((v, w))
-    dist: Dict[Hashable, float] = {s: 0.0 for s in sources}
+    dist: dict[Hashable, float] = {s: 0.0 for s in sources}
     for node in order:
         if node not in dist:
             continue

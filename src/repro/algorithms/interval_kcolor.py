@@ -13,7 +13,9 @@ heuristic (Section III-B).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+
+from typing import Optional
 
 from ..geometry import Interval, max_overlap_density
 from .mincostflow import MinCostFlow
@@ -23,8 +25,8 @@ def max_weight_k_colorable(
     intervals: Sequence[Interval],
     weights: Sequence[float],
     k: int,
-    stats: Optional[Dict[str, float]] = None,
-) -> Tuple[List[int], Dict[int, int]]:
+    stats: Optional[dict[str, float]] = None,
+) -> tuple[list[int], dict[int, int]]:
     """Select a max-weight subset with overlap density <= ``k``.
 
     Args:
@@ -57,7 +59,7 @@ def max_weight_k_colorable(
     net = MinCostFlow()
     for a, b in zip(coords, coords[1:]):
         net.add_edge(("x", a), ("x", b), capacity=k, cost=0.0)
-    edge_ids: List[int] = []
+    edge_ids: list[int] = []
     for idx, iv in enumerate(intervals):
         eid = net.add_edge(
             ("x", iv.lo), ("x", iv.hi + 1), capacity=1, cost=-float(weights[idx])
@@ -86,23 +88,23 @@ def _decompose_colors(
     edge_ids: Sequence[int],
     coords: Sequence[int],
     k: int,
-) -> Dict[int, int]:
+) -> dict[int, int]:
     """Peel the flow into ``k`` unit paths; path index = color."""
     # Remaining flow per edge id, for interval edges only; spine flow is
     # implied (a unit path follows the spine wherever no interval edge
     # is taken), so we can greedily walk coordinates left to right and
     # jump along any interval edge with remaining flow.
-    remaining: Dict[int, int] = {
+    remaining: dict[int, int] = {
         idx: int(round(net.flow_on(eid)))
         for idx, eid in enumerate(edge_ids)
     }
     # Intervals starting at each coordinate, heaviest-flow first.
-    starts: Dict[int, List[int]] = {}
+    starts: dict[int, list[int]] = {}
     for idx, iv in enumerate(intervals):
         if remaining[idx] > 0:
             starts.setdefault(iv.lo, []).append(idx)
 
-    colors: Dict[int, int] = {}
+    colors: dict[int, int] = {}
     for color in range(k):
         position = coords[0]
         while position <= coords[-1]:
@@ -131,20 +133,20 @@ def is_k_colorable(intervals: Sequence[Interval], k: int) -> bool:
 
 def greedy_interval_coloring(
     intervals: Sequence[Interval],
-) -> Dict[int, int]:
+) -> dict[int, int]:
     """Proper coloring with the minimum number of colors.
 
     Left-to-right greedy coloring is optimal on interval graphs; used
     by the conventional (non-stitch-aware) track assignment baseline.
     """
     order = sorted(range(len(intervals)), key=lambda i: intervals[i].lo)
-    colors: Dict[int, int] = {}
+    colors: dict[int, int] = {}
     # Active intervals per color: color -> rightmost occupied endpoint.
-    busy_until: List[int] = []
+    busy_until: list[int] = []
     import heapq
 
-    free: List[int] = []
-    active: List[Tuple[int, int]] = []  # (hi, color) heap
+    free: list[int] = []
+    active: list[tuple[int, int]] = []  # (hi, color) heap
     for idx in order:
         iv = intervals[idx]
         while active and active[0][0] < iv.lo:

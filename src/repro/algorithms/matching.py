@@ -13,10 +13,10 @@ reduction over a square cost matrix).
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from collections.abc import Sequence
 
 
-def hungarian(cost: Sequence[Sequence[float]]) -> List[int]:
+def hungarian(cost: Sequence[Sequence[float]]) -> list[int]:
     """Solve the square assignment problem.
 
     Args:

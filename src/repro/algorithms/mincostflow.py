@@ -13,20 +13,20 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Hashable, List, Tuple
+from collections.abc import Hashable
 
 
 class MinCostFlow:
     """A directed flow network over arbitrary hashable node names."""
 
     def __init__(self) -> None:
-        self._index: Dict[Hashable, int] = {}
+        self._index: dict[Hashable, int] = {}
         # Edge arrays: to, capacity (residual), cost; paired edges i, i^1.
-        self._to: List[int] = []
-        self._cap: List[float] = []
-        self._cost: List[float] = []
-        self._adj: List[List[int]] = []
-        self._initial_cap: List[float] = []
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._cost: list[float] = []
+        self._adj: list[list[int]] = []
+        self._initial_cap: list[float] = []
         self._has_negative = False
         #: Augmenting paths pushed by :meth:`min_cost_flow` so far — the
         #: observable unit of work of the successive-shortest-path loop.
@@ -74,7 +74,7 @@ class MinCostFlow:
 
     def min_cost_flow(
         self, source: Hashable, sink: Hashable, max_flow: float = math.inf
-    ) -> Tuple[float, float]:
+    ) -> tuple[float, float]:
         """Send up to ``max_flow`` units at minimum cost.
 
         Returns ``(flow_sent, total_cost)``.  Stops early when the
@@ -116,13 +116,13 @@ class MinCostFlow:
         return flow_sent, total_cost
 
     def _dijkstra(
-        self, source: int, potential: List[float]
-    ) -> Tuple[List[float], List[int]]:
+        self, source: int, potential: list[float]
+    ) -> tuple[list[float], list[int]]:
         n = self.num_nodes
         dist = [math.inf] * n
         parent_edge = [-1] * n
         dist[source] = 0.0
-        heap: List[Tuple[float, int]] = [(0.0, source)]
+        heap: list[tuple[float, int]] = [(0.0, source)]
         while heap:
             d, node = heapq.heappop(heap)
             if d > dist[node]:
@@ -139,7 +139,7 @@ class MinCostFlow:
                     heapq.heappush(heap, (candidate, succ))
         return dist, parent_edge
 
-    def _bellman_ford(self, source: int) -> List[float]:
+    def _bellman_ford(self, source: int) -> list[float]:
         n = self.num_nodes
         dist = [math.inf] * n
         dist[source] = 0.0

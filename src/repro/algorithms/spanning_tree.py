@@ -8,16 +8,16 @@ heavy-weight conflict edges connect differently colored vertices.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from collections.abc import Hashable, Sequence
 
 from .unionfind import DisjointSet
 
-Edge = Tuple[Hashable, Hashable, float]
+Edge = tuple[Hashable, Hashable, float]
 
 
 def maximum_spanning_forest(
     vertices: Sequence[Hashable], edges: Sequence[Edge]
-) -> List[Edge]:
+) -> list[Edge]:
     """Kruskal maximum-weight spanning forest.
 
     Returns the chosen edges; isolated vertices simply contribute no
@@ -25,7 +25,7 @@ def maximum_spanning_forest(
     stable sort.
     """
     ds = DisjointSet(vertices)
-    chosen: List[Edge] = []
+    chosen: list[Edge] = []
     for u, v, w in sorted(edges, key=lambda e: -e[2]):
         if ds.union(u, v):
             chosen.append((u, v, w))
@@ -34,7 +34,7 @@ def maximum_spanning_forest(
 
 def color_forest_by_depth(
     vertices: Sequence[Hashable], tree_edges: Sequence[Edge], k: int
-) -> Dict[Hashable, int]:
+) -> dict[Hashable, int]:
     """Color a forest with ``k`` colors by BFS depth modulo ``k``.
 
     This is the tree-coloring rule of the maximum-spanning-tree
@@ -44,12 +44,12 @@ def color_forest_by_depth(
     """
     if k < 2:
         raise ValueError("tree coloring needs at least two colors")
-    adjacency: Dict[Hashable, List[Hashable]] = {v: [] for v in vertices}
+    adjacency: dict[Hashable, list[Hashable]] = {v: [] for v in vertices}
     for u, v, _ in tree_edges:
         adjacency[u].append(v)
         adjacency[v].append(u)
 
-    colors: Dict[Hashable, int] = {}
+    colors: dict[Hashable, int] = {}
     for root in sorted(adjacency, key=repr):
         if root in colors:
             continue
@@ -58,7 +58,7 @@ def color_forest_by_depth(
         depth = 0
         while frontier:
             depth += 1
-            next_frontier: List[Hashable] = []
+            next_frontier: list[Hashable] = []
             for node in frontier:
                 for neighbor in adjacency[node]:
                     if neighbor not in colors:
@@ -69,7 +69,7 @@ def color_forest_by_depth(
 
 
 def coloring_cost(
-    edges: Sequence[Edge], colors: Dict[Hashable, int]
+    edges: Sequence[Edge], colors: dict[Hashable, int]
 ) -> float:
     """Total weight of monochromatic edges under ``colors``.
 

@@ -11,9 +11,9 @@ experiment stays comparable with the paper's MST defaults.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
-Point2 = Tuple[int, int]
+Point2 = tuple[int, int]
 
 
 def manhattan(a: Point2, b: Point2) -> int:
@@ -44,7 +44,7 @@ def mst_length(points: Sequence[Point2]) -> int:
     return total
 
 
-def mst_edges(points: Sequence[Point2]) -> List[Tuple[Point2, Point2]]:
+def mst_edges(points: Sequence[Point2]) -> list[tuple[Point2, Point2]]:
     """Rectilinear spanning tree edges of a point set (Prim)."""
     if len(points) < 2:
         return []
@@ -53,7 +53,7 @@ def mst_edges(points: Sequence[Point2]) -> List[Tuple[Point2, Point2]]:
     dist = [manhattan(points[0], p) for p in points]
     parent = [0] * n
     in_tree[0] = True
-    edges: List[Tuple[Point2, Point2]] = []
+    edges: list[tuple[Point2, Point2]] = []
     for _ in range(n - 1):
         best = min(
             (i for i in range(n) if not in_tree[i]), key=lambda i: dist[i]
@@ -69,7 +69,7 @@ def mst_edges(points: Sequence[Point2]) -> List[Tuple[Point2, Point2]]:
     return edges
 
 
-def steiner_points(points: Sequence[Point2], max_rounds: int = 8) -> List[Point2]:
+def steiner_points(points: Sequence[Point2], max_rounds: int = 8) -> list[Point2]:
     """Greedy 1-Steiner: Hanan points that shorten the spanning tree.
 
     Returns the inserted Steiner points (possibly empty).  Each round
@@ -79,7 +79,7 @@ def steiner_points(points: Sequence[Point2], max_rounds: int = 8) -> List[Point2
     terminals = list(dict.fromkeys(points))
     if len(terminals) < 3:
         return []
-    inserted: List[Point2] = []
+    inserted: list[Point2] = []
     current = list(terminals)
     for _ in range(max_rounds):
         base = mst_length(current)
@@ -106,7 +106,7 @@ def steiner_points(points: Sequence[Point2], max_rounds: int = 8) -> List[Point2
 
 def steiner_tree_edges(
     points: Sequence[Point2], max_rounds: int = 8
-) -> List[Tuple[Point2, Point2]]:
+) -> list[tuple[Point2, Point2]]:
     """Spanning edges over terminals plus greedy Steiner points.
 
     The returned edges connect the augmented point set; their summed

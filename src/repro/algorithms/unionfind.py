@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 
 class DisjointSet:
@@ -12,8 +12,8 @@ class DisjointSet:
     """
 
     def __init__(self, items: Iterable[Hashable] = ()) -> None:
-        self._parent: Dict[Hashable, Hashable] = {}
-        self._rank: Dict[Hashable, int] = {}
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
         self._count = 0
         for item in items:
             self.add(item)

@@ -1,0 +1,49 @@
+"""Static and dynamic analysis for the determinism contract.
+
+Three enforcement layers for the serial-equivalence guarantee of
+:mod:`repro.parallel` (see ``docs/static_analysis.md``):
+
+* :mod:`~repro.analysis.lint` — an AST-based determinism linter
+  (rules DET001–DET005, ``repro lint`` on the CLI);
+* :mod:`~repro.analysis.baseline` — committed grandfathering of
+  pre-existing findings;
+* :mod:`~repro.analysis.sanitize` — a dynamic speculation-footprint
+  sanitizer (``RouterConfig(sanitize=True)`` / ``--sanitize``).
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    save_baseline,
+)
+from .lint import (
+    Finding,
+    LintReport,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from .rules import RULES, Rule
+from .sanitize import (
+    SanitizedGraphSnapshot,
+    SanitizedGridOverlay,
+    SanitizerViolation,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "SanitizedGraphSnapshot",
+    "SanitizedGridOverlay",
+    "SanitizerViolation",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "save_baseline",
+]

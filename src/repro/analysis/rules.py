@@ -1,0 +1,119 @@
+"""The determinism rule catalog (DET001–DET005).
+
+Each rule states one convention the serial-equivalence contract of the
+parallel engine rests on (see ``docs/parallelism.md``): the routing
+result must be a pure function of the design and the config, byte-for-
+byte reproducible across processes, machines, and worker counts.  The
+linter in :mod:`~repro.analysis.lint` enforces the catalog statically;
+``docs/static_analysis.md`` discusses every rule with examples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One determinism rule.
+
+    Attributes:
+        code: stable identifier (``DET001`` ...), used in output and in
+            ``# repro: allow-DETnnn`` suppression comments.
+        title: one-line description shown next to every finding.
+        rationale: why violating the rule can break serial equivalence.
+        fix_hint: the canonical way to fix (or legitimately suppress) a
+            finding; printed with every finding.
+        routing_only: whether the rule applies only inside the
+            routing-decision packages (``ROUTING_PACKAGES``); rules
+            that are unconditionally bad apply everywhere.
+    """
+
+    code: str
+    title: str
+    rationale: str
+    fix_hint: str
+    routing_only: bool = True
+
+
+#: Packages whose code feeds routing decisions.  Iteration order,
+#: tie-breaking, and ambient inputs inside these packages directly
+#: shape the routing result, so the routing-scoped rules apply here.
+ROUTING_PACKAGES = frozenset(
+    {"globalroute", "detailed", "assign", "parallel", "multilevel"}
+)
+
+DET001 = Rule(
+    code="DET001",
+    title="unordered iteration over a set or dict.keys()",
+    rationale=(
+        "Iterating a set (or materializing one into a sequence) exposes "
+        "hash order; any routing decision derived from that order can "
+        "differ between processes and break byte-identical replay."
+    ),
+    fix_hint=(
+        "iterate sorted(...) or a canonically ordered container; if the "
+        "consumer is provably order-independent, append "
+        "'# repro: allow-DET001 <why>'"
+    ),
+)
+
+DET002 = Rule(
+    code="DET002",
+    title="wall-clock or RNG input in a routing path",
+    rationale=(
+        "time.time()/random/os.urandom make the routing result depend "
+        "on when and where it runs; only the observe layer may read "
+        "ambient state (timing measurement is sanctioned there and via "
+        "time.perf_counter for reported durations)."
+    ),
+    fix_hint=(
+        "derive the value from the design or the RouterConfig, or move "
+        "the measurement into repro.observe; timers for reported "
+        "durations should use time.perf_counter"
+    ),
+)
+
+DET003 = Rule(
+    code="DET003",
+    title="float equality comparison on coordinates or costs",
+    rationale=(
+        "== / != on accumulated float costs flips with association "
+        "order, so two schedules of the same arithmetic can take "
+        "different branches."
+    ),
+    fix_hint=(
+        "compare with an explicit tolerance (math.isclose or an "
+        "epsilon), or restructure so the branch keys on integers"
+    ),
+)
+
+DET004 = Rule(
+    code="DET004",
+    title="mutable default argument",
+    rationale=(
+        "A shared mutable default leaks state between calls — results "
+        "then depend on call history, not on the inputs."
+    ),
+    fix_hint="default to None and create the container inside the body",
+    routing_only=False,
+)
+
+DET005 = Rule(
+    code="DET005",
+    title="id()/hash-order reliance for tie-breaking",
+    rationale=(
+        "id() values and hash-bucket order (next(iter(s)), set.pop()) "
+        "vary between processes; a tie broken by either is a "
+        "nondeterministic routing decision."
+    ),
+    fix_hint=(
+        "break ties on stable domain keys (net name, coordinates); "
+        "pick set elements with min()/max()/sorted()"
+    ),
+)
+
+#: All rules, keyed by code, in catalog order.
+RULES: dict[str, Rule] = {
+    r.code: r for r in (DET001, DET002, DET003, DET004, DET005)
+}

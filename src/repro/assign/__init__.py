@@ -24,29 +24,6 @@ from .panels import (
     extract_panels,
     runs_of_path,
 )
-
-__all__ = [
-    "ColoringMethod",
-    "InstanceStats",
-    "LayerAssignment",
-    "Panel",
-    "PanelAssignment",
-    "PanelKind",
-    "PanelSegment",
-    "assign_layers",
-    "assign_panel",
-    "build_conflict_graph",
-    "extract_panels",
-    "flow_kcoloring",
-    "instance_suite",
-    "mst_kcoloring",
-    "order_groups_for_vias",
-    "random_instance",
-    "runs_of_path",
-    "suite_stats",
-    "vertex_weights",
-]
-
 from .track_assign import (
     DesignTrackAssignment,
     TrackMethod,
@@ -63,16 +40,35 @@ from .track_common import (
 from .track_graph import assign_tracks_graph
 from .track_ilp import assign_tracks_ilp
 
-__all__ += [
+__all__ = [
+    "ColoringMethod",
     "DesignTrackAssignment",
+    "InstanceStats",
+    "LayerAssignment",
+    "Panel",
+    "PanelAssignment",
+    "PanelKind",
+    "PanelSegment",
     "TrackAssignmentResult",
     "TrackMethod",
     "TrackRegion",
+    "assign_layers",
+    "assign_panel",
     "assign_tracks",
     "assign_tracks_baseline",
     "assign_tracks_graph",
     "assign_tracks_ilp",
+    "build_conflict_graph",
+    "extract_panels",
     "find_bad_ends",
+    "flow_kcoloring",
+    "instance_suite",
+    "mst_kcoloring",
+    "order_groups_for_vias",
+    "random_instance",
     "regions_of_span",
+    "runs_of_path",
+    "suite_stats",
     "validate_assignment",
+    "vertex_weights",
 ]

@@ -15,15 +15,13 @@ density and line-end density across the k layers (Fig. 8).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
 from ..geometry import overlapping_pairs
 from .panels import Panel, PanelKind
 
-Edge = Tuple[int, int, float]
+Edge = tuple[int, int, float]
 
 
-def build_conflict_graph(panel: Panel) -> Tuple[List[int], List[Edge]]:
+def build_conflict_graph(panel: Panel) -> tuple[list[int], list[Edge]]:
     """Vertices (segment indices) and weighted edges of a panel.
 
     Edge weights follow Eq. (4); the line-end term is dropped for row
@@ -35,7 +33,7 @@ def build_conflict_graph(panel: Panel) -> Tuple[List[int], List[Edge]]:
     end_density = panel.line_end_density()
     include_ends = panel.kind is PanelKind.COLUMN
 
-    edges: List[Edge] = []
+    edges: list[Edge] = []
     for a, b in overlapping_pairs(spans):
         seg_a, seg_b = panel.segments[a], panel.segments[b]
         overlap = seg_a.span.intersection(seg_b.span)
@@ -55,8 +53,8 @@ def build_conflict_graph(panel: Panel) -> Tuple[List[int], List[Edge]]:
 
 
 def vertex_weights(
-    vertices: List[int], edges: List[Edge]
-) -> Dict[int, float]:
+    vertices: list[int], edges: list[Edge]
+) -> dict[int, float]:
     """Sum of incident edge weights per vertex (Section III-B)."""
     weights = {v: 0.0 for v in vertices}
     for u, v, w in edges:

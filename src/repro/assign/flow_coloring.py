@@ -11,7 +11,7 @@ fusing two groups is the total conflict edge weight between them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..algorithms import hungarian, max_weight_k_colorable
 from ..geometry import Interval
@@ -19,12 +19,12 @@ from .conflict_graph import Edge, vertex_weights
 
 
 def flow_kcoloring(
-    vertices: List[int],
-    spans: Dict[int, Interval],
-    edges: List[Edge],
+    vertices: list[int],
+    spans: dict[int, Interval],
+    edges: list[Edge],
     k: int,
-    stats: Optional[Dict[str, float]] = None,
-) -> Dict[int, int]:
+    stats: Optional[dict[str, float]] = None,
+) -> dict[int, int]:
     """k-color a segment conflict graph by iterated max-weight extraction.
 
     Args:
@@ -42,8 +42,8 @@ def flow_kcoloring(
     if k < 1:
         raise ValueError("k must be positive")
     remaining = set(vertices)
-    groups: List[set] = [set() for _ in range(k)]
-    edge_lookup: Dict[int, List[Edge]] = {v: [] for v in vertices}
+    groups: list[set] = [set() for _ in range(k)]
+    edge_lookup: dict[int, list[Edge]] = {v: [] for v in vertices}
     for u, v, w in edges:
         edge_lookup[u].append((u, v, w))
         edge_lookup[v].append((u, v, w))
@@ -69,7 +69,7 @@ def flow_kcoloring(
             # always 1-colorable), guard against infinite loops anyway.
             selected_pos = [0]
             colors_pos = {0: 0}
-        new_groups: List[set] = [set() for _ in range(k)]
+        new_groups: list[set] = [set() for _ in range(k)]
         for pos in selected_pos:
             new_groups[colors_pos[pos]].add(ordered[pos])
         remaining -= {ordered[pos] for pos in selected_pos}
@@ -80,7 +80,7 @@ def flow_kcoloring(
         else:
             groups = _merge_groups(groups, new_groups, edge_lookup)
 
-    coloring: Dict[int, int] = {}
+    coloring: dict[int, int] = {}
     for color, members in enumerate(groups):
         for v in members:
             coloring[v] = color
@@ -88,10 +88,10 @@ def flow_kcoloring(
 
 
 def _merge_groups(
-    groups: List[set],
-    new_groups: List[set],
-    edge_lookup: Dict[int, List[Edge]],
-) -> List[set]:
+    groups: list[set],
+    new_groups: list[set],
+    edge_lookup: dict[int, list[Edge]],
+) -> list[set]:
     """Fuse new coloring groups into the accumulated ones (Fig. 9d).
 
     A complete bipartite graph is built between the two group families
@@ -111,7 +111,7 @@ def _merge_groups(
 
 
 def _conflict_between(
-    group_a: set, group_b: set, edge_lookup: Dict[int, List[Edge]]
+    group_a: set, group_b: set, edge_lookup: dict[int, list[Edge]]
 ) -> float:
     if not group_a or not group_b:
         return 0.0

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..algorithms import coloring_cost
 from ..config import ColoringMethod
@@ -28,7 +28,7 @@ class PanelAssignment:
     """Layer assignment of one panel."""
 
     panel: Panel
-    layer_of_segment: Dict[int, int]
+    layer_of_segment: dict[int, int]
     coloring_cost: float
 
 
@@ -36,8 +36,8 @@ class PanelAssignment:
 class LayerAssignment:
     """Layer assignment of every panel of a design."""
 
-    columns: Dict[int, PanelAssignment]
-    rows: Dict[int, PanelAssignment]
+    columns: dict[int, PanelAssignment]
+    rows: dict[int, PanelAssignment]
     cpu_seconds: float
 
     @property
@@ -54,8 +54,8 @@ def assign_panel(
     panel: Panel,
     k: int,
     method: ColoringMethod = ColoringMethod.FLOW,
-    layers: List[int] | None = None,
-    stats: Optional[Dict[str, float]] = None,
+    layers: list[int] | None = None,
+    stats: Optional[dict[str, float]] = None,
 ) -> PanelAssignment:
     """k-color one panel and map colors to the given layer ids.
 
@@ -96,8 +96,8 @@ def assign_panel(
 
 
 def order_groups_for_vias(
-    panel: Panel, colors: Dict[int, int], k: int
-) -> List[int]:
+    panel: Panel, colors: dict[int, int], k: int
+) -> list[int]:
     """Order coloring groups so net-sharing groups sit on close layers.
 
     Greedy chaining on group affinity (number of nets present in both
@@ -105,7 +105,7 @@ def order_groups_for_vias(
     append the group with the highest affinity to the chain ends.
     Returns the color ids in layer order.
     """
-    nets_per_color: List[set] = [set() for _ in range(k)]
+    nets_per_color: list[set] = [set() for _ in range(k)]
     for seg in panel.segments:
         nets_per_color[colors[seg.index]].add(seg.net)
 
@@ -139,8 +139,8 @@ def order_groups_for_vias(
 
 
 def assign_layers(
-    columns: Dict[int, Panel],
-    rows: Dict[int, Panel],
+    columns: dict[int, Panel],
+    rows: dict[int, Panel],
     technology: Technology,
     method: ColoringMethod = ColoringMethod.FLOW,
     tracer: Optional[Tracer] = None,
@@ -155,7 +155,7 @@ def assign_layers(
     start = time.perf_counter()
     v_layers = technology.vertical_layers
     h_layers = technology.horizontal_layers
-    stats: Dict[str, float] = {}
+    stats: dict[str, float] = {}
     with tracer.span("layer-assign") as span:
         column_result = {
             pos: assign_panel(

@@ -9,15 +9,13 @@ quality degrades as more layers become available (Fig. 9a-b).
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 from ..algorithms import color_forest_by_depth, maximum_spanning_forest
 from .conflict_graph import Edge
 
 
 def mst_kcoloring(
-    vertices: List[int], edges: List[Edge], k: int
-) -> Dict[int, int]:
+    vertices: list[int], edges: list[Edge], k: int
+) -> dict[int, int]:
     """k-color the conflict graph via its maximum spanning tree."""
     forest = maximum_spanning_forest(vertices, edges)
     return color_forest_by_depth(vertices, forest, k)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..geometry import Interval
 from ..globalroute import GlobalRoutingResult
@@ -48,7 +48,7 @@ class PanelSegment:
     has_high_end: bool = True
 
     @property
-    def line_end_rows(self) -> Tuple[int, ...]:
+    def line_end_rows(self) -> tuple[int, ...]:
         """Tile positions along the panel that hold a line end."""
         rows = []
         if self.has_low_end:
@@ -69,22 +69,22 @@ class Panel:
 
     kind: PanelKind
     position: int
-    segments: List[PanelSegment]
+    segments: list[PanelSegment]
 
     def __len__(self) -> int:
         return len(self.segments)
 
-    def segment_density(self) -> Dict[int, int]:
+    def segment_density(self) -> dict[int, int]:
         """Per-tile segment density along the panel axis."""
-        density: Dict[int, int] = {}
+        density: dict[int, int] = {}
         for seg in self.segments:
             for row in range(seg.span.lo, seg.span.hi + 1):
                 density[row] = density.get(row, 0) + 1
         return density
 
-    def line_end_density(self) -> Dict[int, int]:
+    def line_end_density(self) -> dict[int, int]:
         """Per-tile line-end density along the panel axis."""
-        density: Dict[int, int] = {}
+        density: dict[int, int] = {}
         for seg in self.segments:
             for row in seg.line_end_rows:
                 density[row] = density.get(row, 0) + 1
@@ -101,7 +101,7 @@ class Panel:
         return max(density.values()) if density else 0
 
 
-def runs_of_path(path: Sequence[Tuple[int, int]]) -> List[Tuple[str, int, Interval]]:
+def runs_of_path(path: Sequence[tuple[int, int]]) -> list[tuple[str, int, Interval]]:
     """Maximal straight runs of a tile path.
 
     Returns tuples ``(kind, position, span)`` where ``kind`` is ``"v"``
@@ -110,7 +110,7 @@ def runs_of_path(path: Sequence[Tuple[int, int]]) -> List[Tuple[str, int, Interv
     Runs of a single tile (a path that immediately turns) are attached
     to the neighbouring runs and do not appear on their own.
     """
-    runs: List[Tuple[str, int, Interval]] = []
+    runs: list[tuple[str, int, Interval]] = []
     if len(path) < 2:
         return runs
     start = 0
@@ -126,8 +126,8 @@ def runs_of_path(path: Sequence[Tuple[int, int]]) -> List[Tuple[str, int, Interv
 
 
 def _run(
-    kind: str, a: Tuple[int, int], b: Tuple[int, int]
-) -> Tuple[str, int, Interval]:
+    kind: str, a: tuple[int, int], b: tuple[int, int]
+) -> tuple[str, int, Interval]:
     if kind == "v":
         return ("v", a[0], Interval(min(a[1], b[1]), max(a[1], b[1])))
     return ("h", a[1], Interval(min(a[0], b[0]), max(a[0], b[0])))
@@ -135,26 +135,23 @@ def _run(
 
 def extract_panels(
     result: GlobalRoutingResult,
-) -> Tuple[Dict[int, Panel], Dict[int, Panel]]:
+) -> tuple[dict[int, Panel], dict[int, Panel]]:
     """Build the column and row panels of a global routing solution.
 
     Returns ``(column_panels, row_panels)`` keyed by panel position.
     """
     graph = result.graph
-    columns: Dict[int, Panel] = {
+    columns: dict[int, Panel] = {
         i: Panel(PanelKind.COLUMN, i, []) for i in range(graph.nx)
     }
-    rows: Dict[int, Panel] = {
+    rows: dict[int, Panel] = {
         j: Panel(PanelKind.ROW, j, []) for j in range(graph.ny)
     }
     for name in sorted(result.routes):
         route = result.routes[name]
         for path in route.paths:
             for kind, position, span in runs_of_path(path):
-                if kind == "v":
-                    panel = columns[position]
-                else:
-                    panel = rows[position]
+                panel = columns[position] if kind == "v" else rows[position]
                 panel.segments.append(
                     PanelSegment(net=name, index=len(panel.segments), span=span)
                 )

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional
 
 from ..config import TrackMethod
 from ..globalroute import GlobalGraph
@@ -36,9 +36,9 @@ _NO_STITCHES = StitchingLines(())
 class DesignTrackAssignment:
     """Track assignment of every (panel, layer) of a design."""
 
-    columns: Dict[Tuple[int, int], TrackAssignmentResult]
-    rows: Dict[Tuple[int, int], TrackAssignmentResult]
-    failed_nets: Set[str]
+    columns: dict[tuple[int, int], TrackAssignmentResult]
+    rows: dict[tuple[int, int], TrackAssignmentResult]
+    failed_nets: set[str]
     cpu_seconds: float
 
     @property
@@ -46,9 +46,9 @@ class DesignTrackAssignment:
         """Total bad ends over all column panels."""
         return sum(r.num_bad_ends for r in self.columns.values())
 
-    def bad_ends_per_net(self) -> Dict[str, int]:
+    def bad_ends_per_net(self) -> dict[str, int]:
         """Bad-end count per net (for stitch-aware net ordering)."""
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         for result in self.columns.values():
             by_index = {seg.index: seg for seg in result.panel.segments}
             for seg_index, _row in result.bad_ends:
@@ -73,9 +73,9 @@ def assign_tracks(
     assert design.stitches is not None
     tracer = ensure(tracer)
     start = time.perf_counter()
-    columns: Dict[Tuple[int, int], TrackAssignmentResult] = {}
-    rows: Dict[Tuple[int, int], TrackAssignmentResult] = {}
-    failed_nets: Set[str] = set()
+    columns: dict[tuple[int, int], TrackAssignmentResult] = {}
+    rows: dict[tuple[int, int], TrackAssignmentResult] = {}
+    failed_nets: set[str] = set()
 
     with tracer.span("track-assign", method=method.value) as span:
         for pos, panel_assignment in layers.columns.items():
@@ -117,7 +117,7 @@ def assign_tracks(
 def _run_column_method(
     method: TrackMethod,
     panel: Panel,
-    xs: List[int],
+    xs: list[int],
     stitches: StitchingLines,
 ) -> TrackAssignmentResult:
     if method is TrackMethod.BASELINE:
@@ -127,10 +127,10 @@ def _run_column_method(
     return assign_tracks_graph(panel, xs, stitches)
 
 
-def _split_by_layer(panel_assignment) -> Dict[int, Panel]:
+def _split_by_layer(panel_assignment) -> dict[int, Panel]:
     """Sub-panels per assigned layer, preserving segment indices."""
     panel = panel_assignment.panel
-    by_layer: Dict[int, List[PanelSegment]] = {}
+    by_layer: dict[int, list[PanelSegment]] = {}
     for seg in panel.segments:
         layer = panel_assignment.layer_of_segment[seg.index]
         by_layer.setdefault(layer, []).append(seg)
@@ -140,6 +140,6 @@ def _split_by_layer(panel_assignment) -> Dict[int, Panel]:
     }
 
 
-def _nets_of(panel: Panel, failed_indices: List[int]) -> Set[str]:
+def _nets_of(panel: Panel, failed_indices: list[int]) -> set[str]:
     failed = set(failed_indices)
     return {seg.net for seg in panel.segments if seg.index in failed}

@@ -12,7 +12,7 @@ count) are also reported as failed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from ..algorithms import greedy_interval_coloring
 from ..layout import StitchingLines
@@ -36,8 +36,8 @@ def assign_tracks_baseline(
             stitching lines (failed) and which line ends are bad.
     """
     colors = greedy_interval_coloring([seg.span for seg in panel.segments])
-    tracks: Dict[int, Dict[int, int]] = {}
-    failed: List[int] = []
+    tracks: dict[int, dict[int, int]] = {}
+    failed: list[int] = []
     for position, seg in enumerate(panel.segments):
         color = colors[position]
         if color >= len(xs):

@@ -14,7 +14,8 @@ graph-based assigner works region by region, as in Fig. 11.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from ..layout import StitchingLines
 from .panels import Panel, PanelSegment
@@ -33,7 +34,7 @@ class TrackRegion:
             region of the right bounding line.
     """
 
-    xs: Tuple[int, ...]
+    xs: tuple[int, ...]
     sur_left: int
     sur_right: int
 
@@ -52,11 +53,11 @@ class TrackRegion:
 
 def regions_of_span(
     x_lo: int, x_hi: int, stitches: StitchingLines
-) -> List[TrackRegion]:
+) -> list[TrackRegion]:
     """Split the track span ``[x_lo, x_hi]`` at stitching lines."""
     lines = set(stitches.lines_in_range(x_lo, x_hi))
-    regions: List[TrackRegion] = []
-    current: List[int] = []
+    regions: list[TrackRegion] = []
+    current: list[int] = []
     for x in range(x_lo, x_hi + 1):
         if x in lines:
             if current:
@@ -69,7 +70,7 @@ def regions_of_span(
     return regions
 
 
-def _make_region(xs: List[int], stitches: StitchingLines) -> TrackRegion:
+def _make_region(xs: list[int], stitches: StitchingLines) -> TrackRegion:
     sur_left = 0
     for x in xs:
         if stitches.in_unfriendly_region(x):
@@ -109,10 +110,10 @@ class TrackAssignmentResult:
     """
 
     panel: Panel
-    tracks: Dict[int, Dict[int, int]]
-    failed: List[int]
-    bad_ends: List[Tuple[int, int]]
-    stats: Dict[str, float] = dataclasses.field(default_factory=dict)
+    tracks: dict[int, dict[int, int]]
+    failed: list[int]
+    bad_ends: list[tuple[int, int]]
+    stats: dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def num_bad_ends(self) -> int:
@@ -137,16 +138,16 @@ class TrackAssignmentResult:
 
 def find_bad_ends(
     segments: Sequence[PanelSegment],
-    tracks: Dict[int, Dict[int, int]],
+    tracks: dict[int, dict[int, int]],
     stitches: StitchingLines,
-) -> List[Tuple[int, int]]:
+) -> list[tuple[int, int]]:
     """Line ends placed on stitch-unfriendly tracks.
 
     Conservative per Section III-C: any line end on an unfriendly track
     is counted, since the connected horizontal wire may be cut by the
     nearby stitching line.
     """
-    bad: List[Tuple[int, int]] = []
+    bad: list[tuple[int, int]] = []
     for seg in segments:
         per_row = tracks.get(seg.index)
         if not per_row:
@@ -160,16 +161,16 @@ def find_bad_ends(
 
 def validate_assignment(
     segments: Sequence[PanelSegment],
-    tracks: Dict[int, Dict[int, int]],
-) -> List[str]:
+    tracks: dict[int, dict[int, int]],
+) -> list[str]:
     """Internal-consistency violations of a track assignment.
 
     Returns human-readable problem strings (empty when valid): two
     segments sharing a (row, x), or a segment missing a row of its
     span.
     """
-    problems: List[str] = []
-    occupied: Dict[Tuple[int, int], int] = {}
+    problems: list[str] = []
+    occupied: dict[tuple[int, int], int] = {}
     by_index = {seg.index: seg for seg in segments}
     for index, per_row in tracks.items():
         seg = by_index[index]

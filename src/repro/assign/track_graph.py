@@ -26,7 +26,8 @@ exceeds the region's track count.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from ..algorithms import longest_path_lengths
 from ..layout import StitchingLines
@@ -62,8 +63,8 @@ def assign_tracks_graph(
         )
     assignment_by_region = _distribute_segments(panel.segments, regions)
 
-    tracks: Dict[int, Dict[int, int]] = {}
-    failed: List[int] = []
+    tracks: dict[int, dict[int, int]] = {}
+    failed: list[int] = []
     for region, segments in zip(regions, assignment_by_region):
         placed, region_failed = _assign_region(segments, region)
         tracks.update(placed)
@@ -87,8 +88,8 @@ def assign_tracks_graph(
 # Region distribution
 # ----------------------------------------------------------------------
 def _distribute_segments(
-    segments: Sequence[PanelSegment], regions: List[TrackRegion]
-) -> List[List[PanelSegment]]:
+    segments: Sequence[PanelSegment], regions: list[TrackRegion]
+) -> list[list[PanelSegment]]:
     """Split the panel's segments across its track regions.
 
     Greedy balance: longest segments first, each to the region with the
@@ -98,8 +99,8 @@ def _distribute_segments(
     """
     if len(regions) == 1:
         return [list(segments)]
-    buckets: List[List[PanelSegment]] = [[] for _ in regions]
-    densities: List[Dict[int, int]] = [dict() for _ in regions]
+    buckets: list[list[PanelSegment]] = [[] for _ in regions]
+    densities: list[dict[int, int]] = [dict() for _ in regions]
     for seg in sorted(segments, key=lambda s: (-s.length, s.index)):
         best = None
         best_headroom = None
@@ -132,7 +133,7 @@ class _IntervalKey:
 
 def _assign_region(
     segments: Sequence[PanelSegment], region: TrackRegion
-) -> Tuple[Dict[int, Dict[int, int]], List[int]]:
+) -> tuple[dict[int, dict[int, int]], list[int]]:
     """Assign one region; returns (tracks, failed segment indices)."""
     if not segments:
         return {}, []
@@ -148,12 +149,12 @@ def _assign_region(
 
 def _enforce_density(
     segments: Sequence[PanelSegment], capacity: int
-) -> Tuple[List[PanelSegment], List[int]]:
+) -> tuple[list[PanelSegment], list[int]]:
     """Drop shortest segments from over-dense rows (to be re-routed)."""
     live = sorted(segments, key=lambda s: (-s.length, s.index))
-    failed: List[int] = []
-    density: Dict[int, int] = {}
-    kept: List[PanelSegment] = []
+    failed: list[int] = []
+    density: dict[int, int] = {}
+    kept: list[PanelSegment] = []
     for seg in live:
         rows = range(seg.span.lo, seg.span.hi + 1)
         if any(density.get(row, 0) + 1 > capacity for row in rows):
@@ -166,7 +167,7 @@ def _enforce_density(
     return kept, failed
 
 
-def _segment_order(segments: Sequence[PanelSegment]) -> List[int]:
+def _segment_order(segments: Sequence[PanelSegment]) -> list[int]:
     """Left-to-right relative order of segment indices (Fig. 11b).
 
     The longest segments take the extreme (stitch-line-adjacent)
@@ -180,14 +181,14 @@ def _segment_order(segments: Sequence[PanelSegment]) -> List[int]:
     edge_segments = by_length[:num_edge]
     rest = by_length[num_edge:]
 
-    left: List[int] = []
-    right: List[int] = []
+    left: list[int] = []
+    right: list[int] = []
     for i, seg in enumerate(edge_segments):
         (left if i % 2 == 0 else right).append(seg.index)
     right.reverse()
 
     # Rows where the edge segments have tentative bad ends.
-    hot_rows: Set[int] = set()
+    hot_rows: set[int] = set()
     for seg in edge_segments:
         hot_rows.update(seg.line_end_rows)
 
@@ -202,9 +203,9 @@ def _segment_order(segments: Sequence[PanelSegment]) -> List[int]:
 
 def _feasible_windows(
     segments: Sequence[PanelSegment],
-    order: List[int],
+    order: list[int],
     region: TrackRegion,
-) -> Dict[_IntervalKey, Tuple[int, int]]:
+) -> dict[_IntervalKey, tuple[int, int]]:
     """[m, M] window (1-based tracks) per interval via longest paths.
 
     Dummy constraints that make the window empty are relaxed one round
@@ -214,8 +215,8 @@ def _feasible_windows(
     position = {seg_index: pos for pos, seg_index in enumerate(order)}
     capacity = region.num_tracks
 
-    intervals: List[_IntervalKey] = []
-    row_chains: Dict[int, List[_IntervalKey]] = {}
+    intervals: list[_IntervalKey] = []
+    row_chains: dict[int, list[_IntervalKey]] = {}
     for seg in segments:
         for row in range(seg.span.lo, seg.span.hi + 1):
             key = _IntervalKey(seg.index, row)
@@ -229,8 +230,8 @@ def _feasible_windows(
         for seg in segments
         for row in seg.line_end_rows
     }
-    relax_left: Set[_IntervalKey] = set()
-    relax_right: Set[_IntervalKey] = set()
+    relax_left: set[_IntervalKey] = set()
+    relax_right: set[_IntervalKey] = set()
 
     for _ in range(len(intervals) + 1):
         m = _longest_from_side(
@@ -274,16 +275,16 @@ def _feasible_windows(
 
 
 def _longest_from_side(
-    intervals: List[_IntervalKey],
-    row_chains: Dict[int, List[_IntervalKey]],
-    constrained: Set[_IntervalKey],
+    intervals: list[_IntervalKey],
+    row_chains: dict[int, list[_IntervalKey]],
+    constrained: set[_IntervalKey],
     sur_width: int,
     reverse: bool,
-) -> Dict[_IntervalKey, float]:
+) -> dict[_IntervalKey, float]:
     """Longest path lengths of the min (or mirrored max) track graph."""
     source = "source"
-    vertices: List[object] = [source] + list(intervals)
-    edges: List[Tuple[object, object, float]] = []
+    vertices: list[object] = [source] + list(intervals)
+    edges: list[tuple[object, object, float]] = []
     for chain in row_chains.values():
         seq = list(reversed(chain)) if reverse else chain
         edges.append((source, seq[0], 1.0))
@@ -293,7 +294,7 @@ def _longest_from_side(
         dummy = "dummy"
         vertices.append(dummy)
         edges.append((source, dummy, float(sur_width)))
-        for key in constrained:
+        for key in sorted(constrained, key=lambda k: (k.segment, k.row)):
             edges.append((dummy, key, 1.0))
     dist = longest_path_lengths(vertices, edges, sources=[source])
     return {key: dist.get(key, 1.0) for key in intervals}
@@ -301,14 +302,14 @@ def _longest_from_side(
 
 def _sequential_assignment(
     segments: Sequence[PanelSegment],
-    order: List[int],
-    windows: Dict[_IntervalKey, Tuple[int, int]],
+    order: list[int],
+    windows: dict[_IntervalKey, tuple[int, int]],
     region: TrackRegion,
-) -> Dict[int, Dict[int, int]]:
+) -> dict[int, dict[int, int]]:
     """Left-to-right greedy track selection inside the windows (Fig 11e)."""
     by_index = {seg.index: seg for seg in segments}
-    floor: Dict[int, int] = {}
-    tracks: Dict[int, Dict[int, int]] = {}
+    floor: dict[int, int] = {}
+    tracks: dict[int, dict[int, int]] = {}
     for seg_index in order:
         seg = by_index[seg_index]
         rows = list(range(seg.span.lo, seg.span.hi + 1))
@@ -322,7 +323,7 @@ def _sequential_assignment(
         # Straight track if the per-row windows intersect.
         straight_lo = max(lo_bounds)
         straight_hi = min(hi_bounds)
-        per_row: Dict[int, int] = {}
+        per_row: dict[int, int] = {}
         if straight_lo <= straight_hi:
             track = straight_lo
             for row in rows:
@@ -331,10 +332,7 @@ def _sequential_assignment(
             previous: Optional[int] = None
             for row, lo, hi in zip(rows, lo_bounds, hi_bounds):
                 hi = max(hi, lo)  # clamped fallback for relaxed windows
-                if previous is None:
-                    track = lo
-                else:
-                    track = min(max(previous, lo), hi)
+                track = lo if previous is None else min(max(previous, lo), hi)
                 per_row[row] = track
                 previous = track
         for row, track in per_row.items():

@@ -17,7 +17,8 @@ designs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 from scipy import sparse
@@ -68,7 +69,7 @@ def assign_tracks_ilp(
             panel=panel, tracks={}, failed=failed, bad_ends=[]
         )
 
-    stats: Dict[str, float] = {}
+    stats: dict[str, float] = {}
     solution = _solve(
         live, usable, unfriendly, max_dogleg, exclude_bad=True, stats=stats
     )
@@ -108,13 +109,13 @@ def assign_tracks_ilp(
 
 def _solve(
     segments: Sequence[PanelSegment],
-    usable: List[int],
-    unfriendly: List[bool],
+    usable: list[int],
+    unfriendly: list[bool],
     max_dogleg: int,
     exclude_bad: bool,
     bad_end_penalty: float = 0.0,
-    stats: Optional[Dict[str, float]] = None,
-) -> Optional[Dict[int, Dict[int, int]]]:
+    stats: Optional[dict[str, float]] = None,
+) -> Optional[dict[int, dict[int, int]]]:
     edges = _build_edges(
         segments, usable, unfriendly, max_dogleg, exclude_bad, bad_end_penalty
     )
@@ -125,15 +126,15 @@ def _solve(
         stats["track_ilp_variables"] = (
             stats.get("track_ilp_variables", 0) + num_vars
         )
-    by_segment: Dict[int, List[int]] = {}
+    by_segment: dict[int, list[int]] = {}
     for idx, edge in enumerate(edges):
         by_segment.setdefault(edge.segment, []).append(idx)
 
-    rows_lhs: List[sparse.csr_matrix] = []
-    lows: List[float] = []
-    highs: List[float] = []
+    rows_lhs: list[sparse.csr_matrix] = []
+    lows: list[float] = []
+    highs: list[float] = []
 
-    def add_constraint(indices: List[int], coeffs: List[float], lo, hi):
+    def add_constraint(indices: list[int], coeffs: list[float], lo, hi):
         data = np.asarray(coeffs, dtype=float)
         col = np.asarray(indices, dtype=int)
         row = np.zeros(len(indices), dtype=int)
@@ -145,7 +146,7 @@ def _solve(
 
     by_index = {seg.index: seg for seg in segments}
     # (5)/(6): unit flow out of each source and into each target.
-    for seg_index, idxs in by_segment.items():
+    for idxs in by_segment.values():
         src = [i for i in idxs if edges[i].kind == "source"]
         tgt = [i for i in idxs if edges[i].kind == "target"]
         if not src or not tgt:
@@ -156,8 +157,8 @@ def _solve(
     # (7): conservation at every (row, track) vertex per commodity.
     for seg_index, idxs in by_segment.items():
         seg = by_index[seg_index]
-        inflow: Dict[Tuple[int, int], List[int]] = {}
-        outflow: Dict[Tuple[int, int], List[int]] = {}
+        inflow: dict[tuple[int, int], list[int]] = {}
+        outflow: dict[tuple[int, int], list[int]] = {}
         for i in idxs:
             e = edges[i]
             if e.kind == "source":
@@ -167,7 +168,7 @@ def _solve(
                 outflow.setdefault((e.row - 1, e.t_from), []).append(i)
             else:  # target
                 outflow.setdefault((e.row, e.t_from), []).append(i)
-        for node in set(inflow) | set(outflow):
+        for node in sorted(set(inflow) | set(outflow)):
             ins = inflow.get(node, [])
             outs = outflow.get(node, [])
             add_constraint(
@@ -175,23 +176,23 @@ def _solve(
             )
 
     # (8): each (row, track) vertex occupied by at most one segment.
-    occupancy: Dict[Tuple[int, int], List[int]] = {}
+    occupancy: dict[tuple[int, int], list[int]] = {}
     for i, e in enumerate(edges):
         if e.kind in ("source", "track"):
             occupancy.setdefault((e.row, e.t_to), []).append(i)
-    for node, idxs in occupancy.items():
+    for idxs in occupancy.values():
         if len(idxs) > 1:
             add_constraint(idxs, [1.0] * len(idxs), 0.0, 1.0)
 
     # (9): crossing track-edge pairs mutually exclusive.
-    track_edge_groups: Dict[Tuple[int, int, int], List[int]] = {}
+    track_edge_groups: dict[tuple[int, int, int], list[int]] = {}
     for i, e in enumerate(edges):
         if e.kind == "track":
             track_edge_groups.setdefault((e.row, e.t_from, e.t_to), []).append(i)
-    boundaries: Dict[int, List[Tuple[int, int, List[int]]]] = {}
+    boundaries: dict[int, list[tuple[int, int, list[int]]]] = {}
     for (row, t_from, t_to), idxs in track_edge_groups.items():
         boundaries.setdefault(row, []).append((t_from, t_to, idxs))
-    for row, group in boundaries.items():
+    for group in boundaries.values():
         for a in range(len(group)):
             fa, ta, idx_a = group[a]
             for b in range(a + 1, len(group)):
@@ -220,7 +221,7 @@ def _solve(
         return None
     chosen = result.x > 0.5
 
-    tracks: Dict[int, Dict[int, int]] = {}
+    tracks: dict[int, dict[int, int]] = {}
     for i, e in enumerate(edges):
         if not chosen[i]:
             continue
@@ -231,14 +232,14 @@ def _solve(
 
 def _build_edges(
     segments: Sequence[PanelSegment],
-    usable: List[int],
-    unfriendly: List[bool],
+    usable: list[int],
+    unfriendly: list[bool],
     max_dogleg: int,
     exclude_bad: bool,
     bad_end_penalty: float = 0.0,
-) -> Optional[List[_Edge]]:
+) -> Optional[list[_Edge]]:
     num_tracks = len(usable)
-    edges: List[_Edge] = []
+    edges: list[_Edge] = []
     for seg in segments:
         lo, hi = seg.span.lo, seg.span.hi
         end_lo = lo in seg.line_end_rows

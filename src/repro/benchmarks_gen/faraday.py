@@ -7,8 +7,6 @@ the #VV / #pins ratios of Table III.
 
 from __future__ import annotations
 
-from typing import List
-
 from ..config import RouterConfig
 from ..layout import Design
 from .generator import SyntheticSpec, generate_design
@@ -41,7 +39,7 @@ FARADAY_SPECS = {
     ),
 }
 
-FARADAY_NAMES: List[str] = list(FARADAY_SPECS)
+FARADAY_NAMES: list[str] = list(FARADAY_SPECS)
 
 
 def faraday_design(
@@ -59,6 +57,6 @@ def faraday_design(
 
 def faraday_suite(
     scale: float = 1.0, config: RouterConfig | None = None
-) -> List[Design]:
+) -> list[Design]:
     """All five Faraday circuits of Table II."""
     return [faraday_design(name, scale, config) for name in FARADAY_NAMES]

@@ -25,7 +25,6 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import List
 
 from ..config import RouterConfig
 from ..geometry import Point
@@ -128,7 +127,7 @@ def generate_design(
     ]
     cluster_sigma = max(3, int(spec.cluster_sigma_frac * min(width, height)))
 
-    nets: List[Net] = []
+    nets: list[Net] = []
     taken: set = set()
     for i in range(num_nets):
         pin_count = _net_pin_count(rng, mean_pins)
@@ -177,7 +176,7 @@ def generate_design(
 def _adjust_stitch_alignment(
     rng: random.Random,
     x: int,
-    stitch_xs: List[int],
+    stitch_xs: list[int],
     target_fraction: float,
     width: int,
     config: RouterConfig,

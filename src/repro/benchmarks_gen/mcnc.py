@@ -11,8 +11,6 @@ is what those columns measure).  Congestion (``cells_per_pin``,
 
 from __future__ import annotations
 
-from typing import List
-
 from ..config import RouterConfig
 from ..layout import Design
 from .generator import SyntheticSpec, generate_design
@@ -65,11 +63,11 @@ MCNC_SPECS = {
     ),
 }
 
-MCNC_NAMES: List[str] = list(MCNC_SPECS)
+MCNC_NAMES: list[str] = list(MCNC_SPECS)
 
 #: The six circuits Table IV calls "hard" (the only ones with any
 #: vertex overflow even without line-end consideration).
-MCNC_HARD_NAMES: List[str] = [
+MCNC_HARD_NAMES: list[str] = [
     "S5378", "S9234", "S13207", "S15850", "S38417", "S38584",
 ]
 
@@ -89,7 +87,7 @@ def mcnc_design(
 
 def mcnc_suite(
     scale: float = 1.0, config: RouterConfig | None = None
-) -> List[Design]:
+) -> list[Design]:
     """All nine MCNC circuits of Table I."""
     return [mcnc_design(name, scale, config) for name in MCNC_NAMES]
 

@@ -11,7 +11,13 @@ Commands:
   violation histogram (which line causes which #VV/#SP).
 * ``trace show|diff|top`` — summarize, compare, or hotspot-rank saved
   trace JSONs (``--profile`` dumps, report files, or BENCH documents).
+* ``lint`` — run the determinism linter (rules DET001–DET005, see
+  ``docs/static_analysis.md``) over source paths; exits nonzero on
+  findings not grandfathered by the committed baseline.
 * ``circuits`` — list the available benchmark circuits.
+
+``route``, ``compare``, and ``diag`` accept ``--sanitize`` to route
+with the speculation-footprint sanitizer enabled.
 
 ``-v`` / ``-vv`` (before the command) stream live span/round progress
 from the run through the :mod:`repro.observe.log` bridge.
@@ -20,9 +26,10 @@ from the run through the :mod:`repro.observe.log` bridge.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-from typing import List, Optional
+from typing import Optional
 
 from .benchmarks_gen import (
     FARADAY_NAMES,
@@ -86,8 +93,11 @@ def _cmd_circuits(_args: argparse.Namespace) -> int:
 
 
 def _run_config(args: argparse.Namespace) -> RouterConfig:
-    """The flow config for a run subcommand (currently ``--workers``)."""
-    return RouterConfig(workers=args.workers)
+    """The flow config for a run subcommand."""
+    return RouterConfig(
+        workers=args.workers,
+        sanitize=getattr(args, "sanitize", False),
+    )
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
@@ -152,7 +162,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _histogram_rows(report: RoutingReport) -> List[dict]:
+def _histogram_rows(report: RoutingReport) -> list[dict]:
     """Per-stitch-line table rows (line index, x, per-kind counts)."""
     line_x = {v.line: v.x for v in report.violations}
     rows = []
@@ -241,6 +251,42 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here: the linter pulls in the analysis package, which
+    # routing commands never need.
+    from .analysis import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        lint_paths,
+        render_findings,
+        save_baseline,
+    )
+
+    paths = args.paths or ["src"]
+    baseline_path = pathlib.Path(args.baseline or DEFAULT_BASELINE_NAME)
+    if args.update_baseline:
+        report = lint_paths(paths)
+        count = save_baseline(baseline_path, report.findings)
+        print(f"wrote {baseline_path} ({count} grandfathered finding(s))")
+        return 0
+    fingerprints: frozenset = frozenset()
+    if baseline_path.exists():
+        fingerprints = Baseline.load(baseline_path).fingerprints
+    report = lint_paths(paths, baseline_fingerprints=fingerprints)
+    if args.format == "json":
+        document = {
+            "findings": [f.to_dict() for f in report.findings],
+            "grandfathered": [f.to_dict() for f in report.grandfathered],
+            "suppressed": report.suppressed,
+            "files": report.files,
+            "ok": report.ok,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_findings(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_trace_top(args: argparse.Namespace) -> int:
     trace = load_trace_file(args.trace, key=args.key)
     fmt = "markdown" if args.markdown else "plain"
@@ -275,6 +321,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="routing worker threads (1 = serial; N > 1 routes "
             "conflict-free net batches concurrently with identical "
             "results, see docs/parallelism.md)",
+        )
+        p.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="audit every speculative shared-state access against "
+            "the declared overlay footprints and fail loudly on any "
+            "undeclared access (see docs/static_analysis.md)",
         )
 
     route = sub.add_parser("route", help="route one circuit")
@@ -320,6 +373,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", help="also write the JSON report (with attributions)"
     )
     diag.set_defaults(func=_cmd_diag)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism linter (DET rules, docs/static_analysis.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="JSON",
+        help="baseline file of grandfathered findings "
+        "(default: ./lint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     trace = sub.add_parser("trace", help="inspect saved trace JSONs")
     tsub = trace.add_subparsers(dest="trace_command", required=True)
@@ -378,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     """Entry point (also used by ``python -m repro``)."""
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose)

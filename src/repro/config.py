@@ -64,6 +64,14 @@ class RouterConfig:
             net batches concurrently and merges them deterministically,
             so the report is byte-identical to the serial one (see
             ``docs/parallelism.md``).
+        sanitize: enable the speculation-footprint sanitizer: workers
+            route against instrumented overlays that record every
+            shared-state access and raise
+            :class:`~repro.analysis.SanitizerViolation` on any access
+            outside the declared read/write footprints (see
+            ``docs/static_analysis.md``).  Adds overhead; only
+            meaningful with ``workers > 1`` (serial routing does not
+            speculate).
 
     Stage-policy attributes (consumed by the router constructors; the
     ablation switches of Tables IV and VIII):
@@ -90,6 +98,7 @@ class RouterConfig:
     max_ripup_iterations: int = 5
     detail_expansion_limit: int = 200_000
     workers: int = 1
+    sanitize: bool = False
     track_method: TrackMethod = TrackMethod.GRAPH
     coloring: ColoringMethod = ColoringMethod.FLOW
     stitch_aware_global: bool = True
@@ -123,6 +132,8 @@ class RouterConfig:
             raise ValueError(f"workers must be an int, got {self.workers!r}")
         if self.workers < 1:
             raise ValueError(f"workers must be at least 1, got {self.workers}")
+        if not isinstance(self.sanitize, bool):
+            raise ValueError(f"sanitize must be a bool, got {self.sanitize!r}")
 
 
 DEFAULT_CONFIG = RouterConfig()

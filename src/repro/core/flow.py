@@ -163,6 +163,7 @@ class StitchAwareRouter:
             return GlobalRouter(
                 stitch_aware=config.stitch_aware_global,
                 workers=config.workers,
+                sanitize=config.sanitize,
             ).route(d, tracer=tracer)
 
         def assign_stage(d: Design, global_result: GlobalRoutingResult):
@@ -188,6 +189,7 @@ class StitchAwareRouter:
             return DetailedRouter(
                 stitch_aware=config.stitch_aware_detail,
                 workers=config.workers,
+                sanitize=config.sanitize,
             ).route(
                 d,
                 global_result.graph,
@@ -218,6 +220,7 @@ class StitchAwareRouter:
                 "stitch_aware_global": config.stitch_aware_global,
                 "stitch_aware_detail": config.stitch_aware_detail,
                 "workers": config.workers,
+                "sanitize": config.sanitize,
             },
         )
         report.trace = trace

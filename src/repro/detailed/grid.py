@@ -17,13 +17,15 @@ grid in the escape region (Section III-D1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
+
+from typing import Optional
 
 from ..config import RouterConfig
 from ..geometry import GridPoint
 from ..layout import Design
 
-Node = Tuple[int, int, int]  # (x, y, layer)
+Node = tuple[int, int, int]  # (x, y, layer)
 
 
 class DetailedGrid:
@@ -37,9 +39,9 @@ class DetailedGrid:
         assert self.stitches is not None
         self.stitch_aware = stitch_aware
         #: node -> owning net name
-        self._owner: Dict[Node, str] = {}
+        self._owner: dict[Node, str] = {}
         #: fixed pin nodes (inviolable even during negotiated rip-up)
-        self._pins: Set[Node] = set()
+        self._pins: set[Node] = set()
         # Precomputed per-x flags (columns are few; lookups are hot).
         self._on_line = [self.stitches.is_on_line(x) for x in range(design.width)]
         self._unfriendly = [
@@ -143,7 +145,7 @@ class DetailedGrid:
         current = self._owner.get(node)
         return current is None or current == net
 
-    def occupied_by(self, net: str) -> Set[Node]:
+    def occupied_by(self, net: str) -> set[Node]:
         """All nodes currently owned by ``net`` (linear scan; tests only)."""
         return {n for n, owner in self._owner.items() if owner == net}
 
@@ -155,7 +157,7 @@ class DetailedGrid:
         node: Node,
         net: str,
         foreign_penalty: Optional[float] = None,
-    ) -> List[Tuple[Node, float]]:
+    ) -> list[tuple[Node, float]]:
         """Legal successor nodes with their Eq. (10) step costs.
 
         Routed vias are never allowed on a stitching line (via
@@ -170,12 +172,13 @@ class DetailedGrid:
         Foreign *pin* nodes stay hard obstacles.
         """
         x, y, layer = node
-        out: List[Tuple[Node, float]] = []
+        out: list[tuple[Node, float]] = []
         config = self.config
-        if not self._vertical[layer]:
-            planar = ((x - 1, y, layer), (x + 1, y, layer))
-        else:
-            planar = ((x, y - 1, layer), (x, y + 1, layer))
+        planar = (
+            ((x, y - 1, layer), (x, y + 1, layer))
+            if self._vertical[layer]
+            else ((x - 1, y, layer), (x + 1, y, layer))
+        )
         for succ in planar:
             passable, extra = self._passable(succ, net, foreign_penalty)
             if passable:
@@ -197,7 +200,7 @@ class DetailedGrid:
 
     def _passable(
         self, node: Node, net: str, foreign_penalty: Optional[float]
-    ) -> Tuple[bool, float]:
+    ) -> tuple[bool, float]:
         x, y, layer = node
         if not (0 <= x < self._width and 0 <= y < self._height):
             return False, 0.0
@@ -222,6 +225,6 @@ class DetailedGrid:
         return 0.0
 
 
-def nodes_of_points(points: Iterable[GridPoint]) -> Set[Node]:
+def nodes_of_points(points: Iterable[GridPoint]) -> set[Node]:
     """Convert :class:`GridPoint` objects to plain node tuples."""
     return {(p.x, p.y, p.layer) for p in points}

@@ -12,7 +12,7 @@ batch-mate's writes is discarded and re-routed on the live grid.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Optional
 
 from .grid import DetailedGrid, Node
 
@@ -30,14 +30,14 @@ class _OwnerOverlay:
     #: Marks a node released in the overlay while still set in base.
     TOMBSTONE = "\0released"
 
-    def __init__(self, base: Dict[Node, str]) -> None:
+    def __init__(self, base: dict[Node, str]) -> None:
         self._base = base
         #: node -> net name, or TOMBSTONE for overlay-released nodes.
-        self.local: Dict[Node, str] = {}
+        self.local: dict[Node, str] = {}
         #: every node whose ownership the worker observed.
-        self.reads: Set[Node] = set()
+        self.reads: set[Node] = set()
         #: every node the worker wrote (claimed or released).
-        self.writes: Set[Node] = set()
+        self.writes: set[Node] = set()
 
     def get(self, node: Node, default: Optional[str] = None) -> Optional[str]:
         self.reads.add(node)
@@ -88,12 +88,12 @@ class GridOverlay(DetailedGrid):
 
     # -- speculative-result plumbing -----------------------------------
     @property
-    def read_nodes(self) -> Set[Node]:
+    def read_nodes(self) -> set[Node]:
         """Nodes whose ownership this overlay observed."""
         return self._owner.reads
 
     @property
-    def write_nodes(self) -> Set[Node]:
+    def write_nodes(self) -> set[Node]:
         """Nodes this overlay wrote (claimed or released)."""
         return self._owner.writes
 

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from ..assign import DesignTrackAssignment
 from ..globalroute import GlobalGraph
@@ -54,12 +55,12 @@ class RoutedNet:
     """Final routing state of one net."""
 
     net: Net
-    nodes: Set[Node]
-    edges: Set[Edge]
+    nodes: set[Node]
+    edges: set[Edge]
     routed: bool
 
     @property
-    def pin_nodes(self) -> Set[Node]:
+    def pin_nodes(self) -> set[Node]:
         """Grid nodes of the net's pins."""
         return {
             (p.location.x, p.location.y, p.layer) for p in self.net.pins
@@ -71,8 +72,8 @@ class DetailedResult:
     """Outcome of detailed routing a design."""
 
     design: Design
-    nets: Dict[str, RoutedNet]
-    failed: List[str]
+    nets: dict[str, RoutedNet]
+    failed: list[str]
     cpu_seconds: float
 
     @property
@@ -98,13 +99,24 @@ class DetailedRouter:
             result-identical to the serial loop (see
             ``docs/parallelism.md``).  The rip-up loop and short-
             polygon repair negotiate over shared state and stay serial.
+        sanitize: connect speculative nets against instrumented
+            overlays that audit every ownership access and verify the
+            declared read/write footprints, raising
+            :class:`~repro.analysis.SanitizerViolation` on any
+            undeclared access (see ``docs/static_analysis.md``).
     """
 
-    def __init__(self, stitch_aware: bool = True, workers: int = 1) -> None:
+    def __init__(
+        self,
+        stitch_aware: bool = True,
+        workers: int = 1,
+        sanitize: bool = False,
+    ) -> None:
         self.stitch_aware = stitch_aware
         self.workers = workers
+        self.sanitize = sanitize
         #: A* search counters flushed into the tracer at stage end.
-        self._search_stats: Dict[str, float] = {}
+        self._search_stats: dict[str, float] = {}
 
     def route(
         self,
@@ -168,8 +180,8 @@ class DetailedRouter:
                 )
             order = self._net_order(nets, assignment)
 
-            routed: Dict[str, RoutedNet] = {}
-            failed: List[str] = []
+            routed: dict[str, RoutedNet] = {}
+            failed: list[str] = []
             with tracer.span("first-pass") as span:
                 self._first_pass(
                     design, grid, order, trunk_pieces, routed, failed,
@@ -191,6 +203,10 @@ class DetailedRouter:
                 tracer.count(name, value)
             tracer.count("stitch_cost_evaluations", grid.cost_evaluations)
             tracer.count("failed_nets", len(failed))
+            if self.sanitize:
+                # Explicit zero: a clean sanitized run reports the
+                # counter so rollups can assert on its presence.
+                tracer.count("sanitize_violations", 0)
             if pool is not None:
                 stage.count("parallel_tasks", pool.tasks)
                 stage.gauge(
@@ -212,9 +228,9 @@ class DetailedRouter:
         design: Design,
         grid: DetailedGrid,
         order: Sequence[Net],
-        trunk_pieces: Dict[str, List[TrunkPiece]],
-        routed: Dict[str, "RoutedNet"],
-        failed: List[str],
+        trunk_pieces: dict[str, list[TrunkPiece]],
+        routed: dict[str, "RoutedNet"],
+        failed: list[str],
         tracer: Tracer,
         pool: Optional[BatchExecutor],
         span: Span,
@@ -257,7 +273,7 @@ class DetailedRouter:
                 ),
                 batch,
             )
-            written: Set[Node] = set()
+            written: set[Node] = set()
             for net, (result, overlay, stats) in zip(batch, results):
                 if overlay.read_nodes & written:
                     # The speculative search read a node an earlier
@@ -291,11 +307,11 @@ class DetailedRouter:
         design: Design,
         grid: DetailedGrid,
         net: Net,
-        trunk_pieces: Dict[str, List[TrunkPiece]],
-    ) -> Tuple[
-        Tuple[bool, Set[Node], Set[Edge], Set[str]],
+        trunk_pieces: dict[str, list[TrunkPiece]],
+    ) -> tuple[
+        tuple[bool, set[Node], set[Edge], set[str]],
         GridOverlay,
-        Dict[str, float],
+        dict[str, float],
     ]:
         """Worker body: connect one net against an ownership overlay.
 
@@ -303,17 +319,26 @@ class DetailedRouter:
         grid), the overlay holding the write delta and the exact
         read/write node sets, and the net's local search counters.
         """
-        overlay = GridOverlay(grid)
-        stats: Dict[str, float] = {}
+        stats: dict[str, float] = {}
+        if self.sanitize:
+            # Imported lazily: repro.analysis is a downstream tool
+            # layer; the routers must not depend on it by default.
+            from ..analysis.sanitize import SanitizedGridOverlay
+
+            overlay: GridOverlay = SanitizedGridOverlay(grid)
+        else:
+            overlay = GridOverlay(grid)
         result = self._connect_net(
             design, overlay, net, trunk_pieces, stats=stats
         )
+        if self.sanitize:
+            overlay.verify(stats)
         return result, overlay, stats
 
     @staticmethod
     def _net_pitch_rect(
-        net: Net, trunk_pieces: Dict[str, List[TrunkPiece]]
-    ) -> Tuple[int, int, int, int]:
+        net: Net, trunk_pieces: dict[str, list[TrunkPiece]]
+    ) -> tuple[int, int, int, int]:
         """Inclusive pitch-space bbox of the net's pins and trunks."""
         xs = [pin.location.x for pin in net.pins]
         ys = [pin.location.y for pin in net.pins]
@@ -327,9 +352,9 @@ class DetailedRouter:
         self,
         grid: DetailedGrid,
         net: Net,
-        result: Tuple[bool, Set[Node], Set[Edge], Set[str]],
-        routed: Dict[str, "RoutedNet"],
-        failed: List[str],
+        result: tuple[bool, set[Node], set[Edge], set[str]],
+        routed: dict[str, "RoutedNet"],
+        failed: list[str],
         tracer: Tracer,
     ) -> None:
         """Record one first-pass outcome exactly as the serial loop does."""
@@ -352,11 +377,11 @@ class DetailedRouter:
         self,
         design: Design,
         grid: DetailedGrid,
-        routed: Dict[str, "RoutedNet"],
-        failed: List[str],
-        trunk_pieces: Dict[str, List[TrunkPiece]],
+        routed: dict[str, "RoutedNet"],
+        failed: list[str],
+        trunk_pieces: dict[str, list[TrunkPiece]],
         tracer: Optional[Tracer] = None,
-    ) -> List[str]:
+    ) -> list[str]:
         """Negotiated rip-up and re-route of failed nets.
 
         Each round first tries to reconnect over the net's surviving
@@ -370,7 +395,7 @@ class DetailedRouter:
             if not failed:
                 break
             queue = list(dict.fromkeys(failed))
-            next_failed: List[str] = []
+            next_failed: list[str] = []
             tracer.count("ripup_rounds")
             with tracer.span(
                 "ripup-round", round=round_index, queued=len(queue)
@@ -385,8 +410,8 @@ class DetailedRouter:
                         if grid.owner(node) == name
                     }
                     ok = False
-                    nodes: Set[Node] = set()
-                    edges: Set[Edge] = set()
+                    nodes: set[Node] = set()
+                    edges: set[Edge] = set()
                     salvage = _salvage_components(grid, record)
                     if salvage is not None:
                         ok, nodes, edges, _ = self._connect_net(
@@ -408,7 +433,7 @@ class DetailedRouter:
                     if not ok and live_trunk:
                         # Release connections only; keep the plan's wire.
                         keep = live_trunk | record.pin_nodes
-                        for node in record.nodes - keep:
+                        for node in sorted(record.nodes - keep):
                             grid.release(node, name)
                         for pin_node in record.pin_nodes:
                             grid.occupy(pin_node, name)
@@ -429,7 +454,7 @@ class DetailedRouter:
                             )
                     if not ok:
                         self._rip(grid, record)
-                        for node in live_trunk:
+                        for node in sorted(live_trunk):
                             grid.release(node, name)
                         ok, nodes, edges, _ = self._connect_net(
                             design, grid, record.net, {}, direct=True
@@ -480,8 +505,8 @@ class DetailedRouter:
         self,
         design: Design,
         grid: DetailedGrid,
-        routed: Dict[str, "RoutedNet"],
-        trunk_pieces: Dict[str, List[TrunkPiece]],
+        routed: dict[str, "RoutedNet"],
+        trunk_pieces: dict[str, list[TrunkPiece]],
     ) -> None:
         """Re-route connections whose wires still form short polygons.
 
@@ -499,7 +524,7 @@ class DetailedRouter:
         """
         stitches = design.stitches
         assert stitches is not None
-        blocked_per_net: Dict[str, Set[Node]] = {}
+        blocked_per_net: dict[str, set[Node]] = {}
         for _ in range(2):
             victims = []
             for name, record in routed.items():
@@ -535,7 +560,7 @@ class DetailedRouter:
                 )
                 # Rip connections only; trunks and pins stay claimed.
                 keep = trunk_nodes | record.pin_nodes
-                for node in saved_nodes - keep:
+                for node in sorted(saved_nodes - keep):
                     grid.release(node, name)
                 fragments = _piece_fragments(
                     trunk_pieces.get(name, []), trunk_nodes
@@ -574,7 +599,7 @@ class DetailedRouter:
     # ------------------------------------------------------------------
     def _net_order(
         self, nets: Sequence[Net], assignment: DesignTrackAssignment
-    ) -> List[Net]:
+    ) -> list[Net]:
         """Stitch-aware: more bad ends first (Section III-D2)."""
         if not self.stitch_aware:
             return list(nets)
@@ -590,14 +615,14 @@ class DetailedRouter:
         design: Design,
         grid: DetailedGrid,
         net: Net,
-        trunk_pieces: Dict[str, List[TrunkPiece]],
+        trunk_pieces: dict[str, list[TrunkPiece]],
         direct: bool = False,
-        blocked: Optional[Set[Node]] = None,
+        blocked: Optional[set[Node]] = None,
         foreign_penalty: Optional[float] = None,
         allow_negotiation: bool = True,
-        salvage: Optional[Tuple[List[Set[Node]], Set[Edge]]] = None,
-        stats: Optional[Dict[str, float]] = None,
-    ) -> Tuple[bool, Set[Node], Set[Edge], Set[str]]:
+        salvage: Optional[tuple[list[set[Node]], set[Edge]]] = None,
+        stats: Optional[dict[str, float]] = None,
+    ) -> tuple[bool, set[Node], set[Edge], set[str]]:
         """Merge the net's pins and trunks into one component.
 
         Returns ``(ok, nodes, edges, victims)``; ``victims`` is the set
@@ -608,9 +633,9 @@ class DetailedRouter:
         """
         if stats is None:
             stats = self._search_stats
-        pin_components: List[Set[Node]] = []
-        edges: Set[Edge] = set()
-        victims: Set[str] = set()
+        pin_components: list[set[Node]] = []
+        edges: set[Edge] = set()
+        victims: set[str] = set()
         seen_pins = set()
         for pin in net.pins:
             node = (pin.location.x, pin.location.y, pin.layer)
@@ -621,7 +646,7 @@ class DetailedRouter:
             if node not in seen_pins:
                 seen_pins.add(node)
                 pin_components.append({node})
-        trunk_components: List[Set[Node]] = []
+        trunk_components: list[set[Node]] = []
         if salvage is not None:
             # Minimal repair: reconnect the net's surviving wire
             # instead of rebuilding from scratch.
@@ -656,16 +681,16 @@ class DetailedRouter:
             trunk_components.extend(via_components)
         trunk_components = _merge_overlapping(trunk_components)
 
-        all_nodes: Set[Node] = set()
+        all_nodes: set[Node] = set()
         for comp in pin_components + trunk_components:
             all_nodes |= comp
 
         def connect_round(
-            components: List[Set[Node]],
-            target_filter: Optional[Set[Node]] = None,
-            margins: Optional[Tuple[int, ...]] = None,
+            components: list[set[Node]],
+            target_filter: Optional[set[Node]] = None,
+            margins: Optional[tuple[int, ...]] = None,
             penalty: Optional[float] = None,
-        ) -> Tuple[bool, List[Set[Node]]]:
+        ) -> tuple[bool, list[set[Node]]]:
             """Merge components until one remains; updates closure state.
 
             ``target_filter`` restricts where the search may terminate
@@ -688,7 +713,7 @@ class DetailedRouter:
             while len(components) > 1:
                 components.sort(key=len)
                 source = components[0]
-                targets: Set[Node] = set().union(*components[1:])
+                targets: set[Node] = set().union(*components[1:])
                 if target_filter is not None:
                     targets &= target_filter
                     if not targets:
@@ -721,7 +746,7 @@ class DetailedRouter:
                 edges |= path_edges(path)
                 end = path[-1]
                 merged = source | set(path)
-                rest: List[Set[Node]] = []
+                rest: list[set[Node]] = []
                 for comp in components[1:]:
                     if end in comp or comp & merged:
                         merged |= comp
@@ -767,8 +792,8 @@ class DetailedRouter:
                     # The local attempt only ever needs to look a tile
                     # around the pin; a single small window keeps the
                     # escalation cascade cheap.
-                    attempts: List[
-                        Tuple[Optional[Set[Node]], Optional[Tuple[int, ...]], Optional[float]]
+                    attempts: list[
+                        tuple[Optional[set[Node]], Optional[tuple[int, ...]], Optional[float]]
                     ] = []
                     if local_targets:
                         attempts.append((local_targets, (tile,), None))
@@ -804,7 +829,7 @@ class DetailedRouter:
         pin_nodes = set(seen_pins)
         trimmed_edges = trim_dangling(edges, pin_nodes)
         trimmed_nodes = nodes_of_edges(trimmed_edges) | pin_nodes
-        for node in all_nodes - trimmed_nodes:
+        for node in sorted(all_nodes - trimmed_nodes):
             grid.release(node, net.name)
         return True, trimmed_nodes, trimmed_edges, victims
 
@@ -825,7 +850,7 @@ def _strip_stolen(grid: DetailedGrid, record: "RoutedNet") -> "RoutedNet":
 
 def _salvage_components(
     grid: DetailedGrid, record: "RoutedNet"
-) -> Optional[Tuple[List[Set[Node]], Set[Edge]]]:
+) -> Optional[tuple[list[set[Node]], set[Edge]]]:
     """Connected components of a net's surviving wire, for reconnects.
 
     Returns ``None`` when nothing beyond the pins survives (a from-
@@ -842,10 +867,13 @@ def _salvage_components(
     from ..algorithms import DisjointSet
 
     ds = DisjointSet()
-    for a, b in live_edges:
+    # Union order cannot change the resulting partition, and edge keys
+    # are int-coordinate tuples whose set order is hash-seed
+    # independent, so the grouping below is reproducible as committed.
+    for a, b in live_edges:  # repro: allow-DET001 partition is order-independent
         ds.union(a, b)
-    groups: Dict[Node, Set[Node]] = {}
-    for edge in live_edges:
+    groups: dict[Node, set[Node]] = {}
+    for edge in live_edges:  # repro: allow-DET001 same traversal as the union above
         for node in edge:
             groups.setdefault(ds.find(node), set()).add(node)
     return list(groups.values()), live_edges
@@ -854,8 +882,8 @@ def _salvage_components(
 def _preconnect_crossings(
     grid: DetailedGrid,
     net: str,
-    pieces: List[TrunkPiece],
-) -> Tuple[Set[Edge], List[Set[Node]]]:
+    pieces: list[TrunkPiece],
+) -> tuple[set[Edge], list[set[Node]]]:
     """Stitch same-net trunks together with vias at their crossings.
 
     For every pair of not-yet-connected trunk pieces that intersect in
@@ -867,14 +895,14 @@ def _preconnect_crossings(
     """
     from ..algorithms import DisjointSet
 
-    edges: Set[Edge] = set()
-    components: List[Set[Node]] = []
+    edges: set[Edge] = set()
+    components: list[set[Node]] = []
     if len(pieces) < 2:
         return edges, components
     ds = DisjointSet(range(len(pieces)))
     xy_maps = []
     for piece in pieces:
-        xy_map: Dict[Tuple[int, int], Set[int]] = {}
+        xy_map: dict[tuple[int, int], set[int]] = {}
         for x, y, layer in piece.nodes:
             xy_map.setdefault((x, y), set()).add(layer)
         xy_maps.append(xy_map)
@@ -903,16 +931,16 @@ def _preconnect_crossings(
 
 
 def _piece_fragments(
-    pieces: List[TrunkPiece], live_nodes: Set[Node]
-) -> List[TrunkPiece]:
+    pieces: list[TrunkPiece], live_nodes: set[Node]
+) -> list[TrunkPiece]:
     """Contiguous sub-runs of trunk pieces still owned by the net.
 
     Trimming after the first connection may have released parts of a
     trunk; the repair pass must only rebuild over what is still there.
     """
-    fragments: List[TrunkPiece] = []
+    fragments: list[TrunkPiece] = []
     for piece in pieces:
-        current: List[Node] = []
+        current: list[Node] = []
         for node in piece.nodes:
             if node in live_nodes:
                 current.append(node)
@@ -924,12 +952,12 @@ def _piece_fragments(
     return fragments
 
 
-def _merge_overlapping(components: List[Set[Node]]) -> List[Set[Node]]:
+def _merge_overlapping(components: list[set[Node]]) -> list[set[Node]]:
     """Union components sharing at least one node."""
-    merged: List[Set[Node]] = []
+    merged: list[set[Node]] = []
     for comp in components:
         absorbed = comp
-        keep: List[Set[Node]] = []
+        keep: list[set[Node]] = []
         for existing in merged:
             if existing & absorbed:
                 absorbed = absorbed | existing
@@ -938,16 +966,3 @@ def _merge_overlapping(components: List[Set[Node]]) -> List[Set[Node]]:
         keep.append(absorbed)
         merged = keep
     return merged
-
-
-def _nearest_exception(
-    exceptions: Set[Tuple[int, int]], source: Set[Node]
-) -> Optional[Tuple[int, int]]:
-    """Pick the via exception relevant to this source component."""
-    if not exceptions:
-        return None
-    source_xy = {(n[0], n[1]) for n in source}
-    for xy in exceptions:
-        if xy in source_xy:
-            return xy
-    return next(iter(sorted(exceptions)))

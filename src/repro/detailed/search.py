@@ -9,7 +9,8 @@ hard-constraint filtering live in :class:`~repro.detailed.grid.DetailedGrid`.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
+from typing import Optional
 
 from .grid import DetailedGrid, Node
 
@@ -17,14 +18,14 @@ from .grid import DetailedGrid, Node
 def astar_connect(
     grid: DetailedGrid,
     net: str,
-    sources: Set[Node],
-    targets: Set[Node],
-    window: Tuple[int, int, int, int],
+    sources: set[Node],
+    targets: set[Node],
+    window: tuple[int, int, int, int],
     expansion_limit: int,
-    blocked: Optional[Set[Node]] = None,
+    blocked: Optional[set[Node]] = None,
     foreign_penalty: Optional[float] = None,
-    stats: Optional[Dict[str, float]] = None,
-) -> Optional[List[Node]]:
+    stats: Optional[dict[str, float]] = None,
+) -> Optional[list[Node]]:
     """Cheapest path from any source to any target inside ``window``.
 
     Args:
@@ -49,7 +50,10 @@ def astar_connect(
     if not sources or not targets:
         return None
     if sources & targets:
-        node = next(iter(sources & targets))
+        # Any shared node is already a complete source-to-target path;
+        # nodes are int-coordinate tuples, so the set order behind this
+        # pick is hash-seed independent and reproducible as committed.
+        node = next(iter(sources & targets))  # repro: allow-DET005
         return [node]
     lo_x, lo_y, hi_x, hi_y = window
 
@@ -68,10 +72,15 @@ def astar_connect(
         dy = (t_lo_y - y) if y < t_lo_y else (y - t_hi_y) if y > t_hi_y else 0
         return weight * (dx + dy)
 
-    best_g: Dict[Node, float] = {s: 0.0 for s in sources}
-    parent: Dict[Node, Node] = {}
-    heap: List[Tuple[float, float, Node]] = [
-        (heuristic(s), 0.0, s) for s in sources
+    # Seeding order over the source set is immaterial: best_g is a pure
+    # mapping, and heap entries are totally ordered by (f, g, node), so
+    # pop order never depends on insertion order.
+    best_g: dict[Node, float] = {
+        s: 0.0 for s in sources  # repro: allow-DET001
+    }
+    parent: dict[Node, Node] = {}
+    heap: list[tuple[float, float, Node]] = [
+        (heuristic(s), 0.0, s) for s in sources  # repro: allow-DET001
     ]
     heapq.heapify(heap)
     expansions = 0
@@ -107,8 +116,8 @@ def astar_connect(
 
 
 def _reconstruct(
-    parent: Dict[Node, Node], sources: Set[Node], end: Node
-) -> List[Node]:
+    parent: dict[Node, Node], sources: set[Node], end: Node
+) -> list[Node]:
     path = [end]
     while path[-1] not in sources:
         path.append(parent[path[-1]])
@@ -122,7 +131,7 @@ def connection_window(
     margin: int,
     width: int,
     height: int,
-) -> Tuple[int, int, int, int]:
+) -> tuple[int, int, int, int]:
     """Bounding window of two node sets, expanded by ``margin``."""
     xs = [n[0] for n in sources] + [n[0] for n in targets]
     ys = [n[1] for n in sources] + [n[1] for n in targets]

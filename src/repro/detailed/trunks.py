@@ -15,7 +15,8 @@ router (Section IV-A).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set
+from collections.abc import Sequence
+from typing import Optional
 
 from ..assign import DesignTrackAssignment, TrackAssignmentResult
 from ..globalroute import GlobalGraph
@@ -28,10 +29,10 @@ class TrunkPiece:
     """One contiguous materialized wire piece of a net."""
 
     net: str
-    nodes: List[Node]
+    nodes: list[Node]
 
     @property
-    def node_set(self) -> Set[Node]:
+    def node_set(self) -> set[Node]:
         """The nodes as a set (connectivity component seed)."""
         return set(self.nodes)
 
@@ -41,17 +42,17 @@ def materialize_trunks(
     grid: DetailedGrid,
     graph: GlobalGraph,
     assignment: DesignTrackAssignment,
-) -> Dict[str, List[TrunkPiece]]:
+) -> dict[str, list[TrunkPiece]]:
     """Place every surviving segment's wire onto the grid.
 
     Returns the trunk pieces per net.  Pieces are split wherever a
     foreign node (e.g. another net's pin) blocks the run; the detailed
     router reconnects the parts.
     """
-    pieces: Dict[str, List[TrunkPiece]] = {}
+    pieces: dict[str, list[TrunkPiece]] = {}
     tile = design.config.tile_size
 
-    for (pos, layer), result in sorted(assignment.columns.items()):
+    for (_pos, layer), result in sorted(assignment.columns.items()):
         _materialize_panel(
             result,
             vertical=True,
@@ -62,7 +63,7 @@ def materialize_trunks(
             skip_nets=assignment.failed_nets,
             out=pieces,
         )
-    for (pos, layer), result in sorted(assignment.rows.items()):
+    for (_pos, layer), result in sorted(assignment.rows.items()):
         _materialize_panel(
             result,
             vertical=False,
@@ -83,8 +84,8 @@ def _materialize_panel(
     tile: int,
     extent: int,
     grid: DetailedGrid,
-    skip_nets: Set[str],
-    out: Dict[str, List[TrunkPiece]],
+    skip_nets: set[str],
+    out: dict[str, list[TrunkPiece]],
 ) -> None:
     by_index = {seg.index: seg for seg in result.panel.segments}
     for seg_index, per_row in sorted(result.tracks.items()):
@@ -100,14 +101,14 @@ def _materialize_panel(
 
 
 def _segment_nodes(
-    per_row: Dict[int, int],
+    per_row: dict[int, int],
     vertical: bool,
     layer: int,
     tile: int,
     extent: int,
-) -> List[Node]:
+) -> list[Node]:
     """Ordered nodes of one trunk, including dogleg jogs."""
-    nodes: List[Node] = []
+    nodes: list[Node] = []
     rows = sorted(per_row)
     previous_track: Optional[int] = None
     for row in rows:
@@ -139,10 +140,10 @@ def _segment_nodes(
 
 def _split_on_blockage(
     nodes: Sequence[Node], grid: DetailedGrid, net: str
-) -> List[List[Node]]:
+) -> list[list[Node]]:
     """Split a node run at foreign-owned or out-of-bounds nodes."""
-    runs: List[List[Node]] = []
-    current: List[Node] = []
+    runs: list[list[Node]] = []
+    current: list[Node] = []
     for node in nodes:
         if grid.is_free_for(node, net):
             current.append(node)

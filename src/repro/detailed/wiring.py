@@ -10,13 +10,13 @@ reports.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from ..geometry import GridPoint, Interval, Orientation, WireSegment
 from ..layout import StitchingLines
 from .grid import Node
 
-Edge = Tuple[Node, Node]
+Edge = tuple[Node, Node]
 
 
 def canonical_edge(a: Node, b: Node) -> Edge:
@@ -26,14 +26,14 @@ def canonical_edge(a: Node, b: Node) -> Edge:
     return (a, b) if a <= b else (b, a)
 
 
-def path_edges(path: Sequence[Node]) -> Set[Edge]:
+def path_edges(path: Sequence[Node]) -> set[Edge]:
     """Order-normalized wire edges of an ordered node path.
 
     Validates adjacency: a gap in the path would silently fabricate
     diagonal "wire", which every consumer downstream (trimming,
     violation checking, rendering) would misinterpret.
     """
-    out: Set[Edge] = set()
+    out: set[Edge] = set()
     for a, b in zip(path, path[1:]):
         if abs(a[0] - b[0]) + abs(a[1] - b[1]) + abs(a[2] - b[2]) != 1:
             raise ValueError(f"non-adjacent path nodes: {a} -> {b}")
@@ -41,19 +41,21 @@ def path_edges(path: Sequence[Node]) -> Set[Edge]:
     return out
 
 
-def nodes_of_edges(edges: Set[Edge]) -> Set[Node]:
+def nodes_of_edges(edges: set[Edge]) -> set[Node]:
     """All endpoints of an edge set."""
     return {node for edge in edges for node in edge}
 
 
-def trim_dangling(edges: Set[Edge], anchors: Set[Node]) -> Set[Edge]:
+def trim_dangling(edges: set[Edge], anchors: set[Node]) -> set[Edge]:
     """Remove edges hanging off non-anchor degree-1 nodes.
 
     Repeatedly peels leaf edges whose leaf endpoint is not an anchor
     (pin) until every remaining leaf is an anchor or a cycle remains.
     """
-    incident: Dict[Node, Set[Edge]] = {}
-    for edge in edges:
+    # Leaf peeling is confluent: whatever order edges are indexed and
+    # leaves are peeled in, the surviving edge set is the same.
+    incident: dict[Node, set[Edge]] = {}
+    for edge in edges:  # repro: allow-DET001 confluent reduction
         for node in edge:
             incident.setdefault(node, set()).add(edge)
     alive = set(edges)
@@ -78,10 +80,12 @@ def trim_dangling(edges: Set[Edge], anchors: Set[Node]) -> Set[Edge]:
     return alive
 
 
-def edges_to_segments(edges: Set[Edge]) -> List[WireSegment]:
+def edges_to_segments(edges: set[Edge]) -> list[WireSegment]:
     """Merge collinear unit edges into maximal wire segments."""
-    groups: Dict[Tuple[str, int, int], List[int]] = {}
-    for a, b in edges:
+    # Group contents are canonicalized downstream: groups are consumed
+    # via sorted(...) and run starts via sorted(set(...)).
+    groups: dict[tuple[str, int, int], list[int]] = {}
+    for a, b in edges:  # repro: allow-DET001 output canonicalized below
         if a[0] != b[0]:
             groups.setdefault(("x", a[1], a[2]), []).append(min(a[0], b[0]))
         elif a[1] != b[1]:
@@ -89,7 +93,7 @@ def edges_to_segments(edges: Set[Edge]) -> List[WireSegment]:
         else:
             groups.setdefault(("z", a[0], a[1]), []).append(min(a[2], b[2]))
 
-    segments: List[WireSegment] = []
+    segments: list[WireSegment] = []
     for (axis, c1, c2), starts in sorted(groups.items()):
         for lo, hi in _edge_runs(starts):
             if axis == "x":
@@ -102,10 +106,10 @@ def edges_to_segments(edges: Set[Edge]) -> List[WireSegment]:
     return segments
 
 
-def _edge_runs(starts: Iterable[int]) -> List[Tuple[int, int]]:
+def _edge_runs(starts: Iterable[int]) -> list[tuple[int, int]]:
     """Maximal runs of consecutive unit-edge start coordinates."""
     ordered = sorted(set(starts))
-    runs: List[Tuple[int, int]] = []
+    runs: list[tuple[int, int]] = []
     if not ordered:
         return runs
     begin = prev = ordered[0]
@@ -119,10 +123,10 @@ def _edge_runs(starts: Iterable[int]) -> List[Tuple[int, int]]:
     return runs
 
 
-def via_landing_points(edges: Set[Edge], pins: Set[Node]) -> Set[Node]:
+def via_landing_points(edges: set[Edge], pins: set[Node]) -> set[Node]:
     """(x, y, layer) points where a via (or a pin contact) lands."""
-    landings: Set[Node] = set()
-    for a, b in edges:
+    landings: set[Node] = set()
+    for a, b in edges:  # repro: allow-DET001 building a set; order-free
         if a[2] != b[2]:
             landings.add(a)
             landings.add(b)
@@ -131,8 +135,8 @@ def via_landing_points(edges: Set[Edge], pins: Set[Node]) -> Set[Node]:
 
 
 def short_polygon_sites(
-    edges: Set[Edge], pins: Set[Node], stitches: StitchingLines
-) -> List[Tuple[Node, Node]]:
+    edges: set[Edge], pins: set[Node], stitches: StitchingLines
+) -> list[tuple[Node, Node]]:
     """Short polygons of a net's trimmed geometry (Fig. 5c).
 
     Returns one ``(crossing_node, end_node)`` pair per short polygon:
@@ -143,7 +147,7 @@ def short_polygon_sites(
     """
     epsilon = stitches.epsilon
     landings = via_landing_points(edges, pins)
-    sites: List[Tuple[Node, Node]] = []
+    sites: list[tuple[Node, Node]] = []
     for seg in edges_to_segments(edges):
         if seg.orientation is not Orientation.HORIZONTAL or seg.length == 0:
             continue

@@ -9,7 +9,6 @@ utilization of a detailed routing result.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
 
 import numpy as np
 
@@ -36,10 +35,10 @@ class CongestionStats:
         return self.overflowed / self.total if self.total else 0.0
 
 
-def global_congestion_stats(result: GlobalRoutingResult) -> List[CongestionStats]:
+def global_congestion_stats(result: GlobalRoutingResult) -> list[CongestionStats]:
     """Edge and vertex utilization summary of a global routing."""
     graph = result.graph
-    out: List[CongestionStats] = []
+    out: list[CongestionStats] = []
     for resource, demand, capacity in (
         ("horizontal edges", graph.h_demand, graph.h_capacity),
         ("vertical edges", graph.v_demand, graph.v_capacity),
@@ -71,7 +70,7 @@ def vertex_heatmap(result: GlobalRoutingResult) -> str:
     graph = result.graph
     capacity = np.maximum(graph.vertex_capacity, 1)
     utilization = graph.vertex_demand / capacity
-    lines: List[str] = []
+    lines: list[str] = []
     for j in reversed(range(graph.ny)):
         row = []
         for i in range(graph.nx):
@@ -81,11 +80,11 @@ def vertex_heatmap(result: GlobalRoutingResult) -> str:
     return "\n".join(lines)
 
 
-def detailed_layer_utilization(result: DetailedResult) -> Dict[int, float]:
+def detailed_layer_utilization(result: DetailedResult) -> dict[int, float]:
     """Fraction of grid nodes occupied per layer after detailed routing."""
     design = result.design
     area = design.width * design.height
-    counts: Dict[int, int] = {m: 0 for m in design.technology.layers}
+    counts: dict[int, int] = {m: 0 for m in design.technology.layers}
     for record in result.nets.values():
         for _x, _y, layer in record.nodes:
             counts[layer] = counts.get(layer, 0) + 1

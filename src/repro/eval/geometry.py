@@ -8,8 +8,6 @@ code plus the aggregate wirelength/via counters.
 
 from __future__ import annotations
 
-from typing import Set
-
 from ..detailed.wiring import (
     Edge,
     canonical_edge,
@@ -35,11 +33,11 @@ __all__ = [
 ]
 
 
-def wirelength(edges: Set[Edge]) -> int:
+def wirelength(edges: set[Edge]) -> int:
     """Total routed wirelength (planar edges only; vias not counted)."""
     return sum(1 for a, b in edges if a[2] == b[2])
 
 
-def via_count(edges: Set[Edge]) -> int:
+def via_count(edges: set[Edge]) -> int:
     """Number of layer-transition edges."""
     return sum(1 for a, b in edges if a[2] != b[2])

@@ -28,7 +28,7 @@ construction the histogram's totals.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional
 
 from ..detailed import DetailedResult
 from ..geometry import Orientation, WireSegment
@@ -106,7 +106,7 @@ class NetReport:
     vias: int
     #: Attributed violations behind the three count columns, in kind
     #: order (vias, vertical, short polygons).
-    violations: List[Violation] = dataclasses.field(default_factory=list)
+    violations: list[Violation] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -122,7 +122,7 @@ class RoutingReport:
     wirelength: int
     vias: int
     cpu_seconds: float
-    nets: Dict[str, NetReport]
+    nets: dict[str, NetReport]
     #: Per-stage observability trace of the run that produced this
     #: report (attached by the flow; ``None`` for bare evaluations).
     trace: Optional[RunTrace] = None
@@ -133,7 +133,7 @@ class RoutingReport:
         return self.routed_nets / self.total_nets if self.total_nets else 1.0
 
     @property
-    def violations(self) -> List[Violation]:
+    def violations(self) -> list[Violation]:
         """Every attributed violation the aggregate columns count.
 
         Mirrors the column semantics exactly: short polygons of
@@ -141,7 +141,7 @@ class RoutingReport:
         else is included, so per-kind totals over this list equal the
         #VV / vertical / #SP fields.
         """
-        out: List[Violation] = []
+        out: list[Violation] = []
         for net in self.nets.values():
             for violation in net.violations:
                 if violation.kind == "short-polygon" and not net.routed:
@@ -149,7 +149,7 @@ class RoutingReport:
                 out.append(violation)
         return out
 
-    def stitch_line_histogram(self) -> Dict[int, Dict[str, int]]:
+    def stitch_line_histogram(self) -> dict[int, dict[str, int]]:
         """Violation counts per stitching line, split by kind.
 
         Keys are stitching-line indices; each value maps every kind of
@@ -158,7 +158,7 @@ class RoutingReport:
         kind over all lines reproduces the corresponding aggregate
         column.
         """
-        histogram: Dict[int, Dict[str, int]] = {}
+        histogram: dict[int, dict[str, int]] = {}
         for violation in self.violations:
             per_line = histogram.setdefault(
                 violation.line, {kind: 0 for kind in VIOLATION_KINDS}
@@ -183,7 +183,7 @@ def evaluate(result: DetailedResult) -> RoutingReport:
     """Check every net of a detailed routing result."""
     design = result.design
     assert design.stitches is not None
-    reports: Dict[str, NetReport] = {}
+    reports: dict[str, NetReport] = {}
     for name in sorted(result.nets):
         routed_net = result.nets[name]
         reports[name] = _check_net(design, routed_net)
@@ -212,7 +212,7 @@ def _check_net(design: Design, routed_net) -> NetReport:
     edges = trim_dangling(routed_net.edges, pins)
     segments = edges_to_segments(edges)
 
-    violations: List[Violation] = []
+    violations: list[Violation] = []
     for (x, y), layer in sorted(_via_positions(edges).items()):
         line = stitches.line_index(x)
         if line is not None:
@@ -248,9 +248,9 @@ def _check_net(design: Design, routed_net) -> NetReport:
     )
 
 
-def _via_positions(edges: Set[Edge]) -> Dict[Tuple[int, int], int]:
+def _via_positions(edges: set[Edge]) -> dict[tuple[int, int], int]:
     """Via (x, y) positions mapped to the lowest layer of the stack."""
-    positions: Dict[Tuple[int, int], int] = {}
+    positions: dict[tuple[int, int], int] = {}
     for a, b in edges:
         if a[2] != b[2]:
             key = (a[0], a[1])
@@ -260,10 +260,10 @@ def _via_positions(edges: Set[Edge]) -> Dict[Tuple[int, int], int]:
 
 
 def _vertical_violations(
-    net: str, stitches: StitchingLines, segments: List[WireSegment]
-) -> List[Violation]:
+    net: str, stitches: StitchingLines, segments: list[WireSegment]
+) -> list[Violation]:
     """Vertical wires running along a stitching line (must be zero)."""
-    out: List[Violation] = []
+    out: list[Violation] = []
     for seg in segments:
         if seg.orientation is Orientation.VERTICAL:
             line = stitches.line_index(seg.a.x)

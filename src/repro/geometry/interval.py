@@ -9,7 +9,7 @@ property that makes the max-weight k-colorable subproblem polynomial.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 @dataclasses.dataclass(frozen=True, order=True)

@@ -8,7 +8,7 @@ index, and ``Rect`` is a closed axis-aligned rectangle.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator
+from collections.abc import Iterator
 
 
 @dataclasses.dataclass(frozen=True, order=True)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from .point import GridPoint
 from .interval import Interval
@@ -142,10 +142,11 @@ def merge_colinear(segments: Iterable[WireSegment]) -> list[WireSegment]:
         if orient is Orientation.VIA:
             vias.append(seg)
             continue
-        if orient is Orientation.HORIZONTAL:
-            key = ("h", seg.layer, seg.a.y)
-        else:
-            key = ("v", seg.layer, seg.a.x)
+        key = (
+            ("h", seg.layer, seg.a.y)
+            if orient is Orientation.HORIZONTAL
+            else ("v", seg.layer, seg.a.x)
+        )
         runs.setdefault(key, []).append(seg.span)
 
     merged: list[WireSegment] = []

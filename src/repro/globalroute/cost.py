@@ -9,7 +9,7 @@ needing special cases.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 from .graph import GlobalGraph, Tile
 
@@ -26,12 +26,12 @@ def congestion_cost(demand: float, capacity: float) -> float:
     return 2.0 ** (demand / capacity) - 1.0
 
 
-def edge_cost(graph: GlobalGraph, key: Tuple[str, int, int]) -> float:
+def edge_cost(graph: GlobalGraph, key: tuple[str, int, int]) -> float:
     """ψ_e of Eq. (1) for the current demand on edge ``key``."""
     return congestion_cost(graph.edge_demand(key), graph.edge_capacity(key))
 
 
-def edge_cost_if_used(graph: GlobalGraph, key: Tuple[str, int, int]) -> float:
+def edge_cost_if_used(graph: GlobalGraph, key: tuple[str, int, int]) -> float:
     """ψ_e after hypothetically adding one wire to edge ``key``.
 
     Pricing the *next* unit of demand (rather than the current one)

@@ -19,14 +19,14 @@ vertex (line ends lying in the tile).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
 from ..layout import Design
 
 
-Tile = Tuple[int, int]
+Tile = tuple[int, int]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,7 +105,7 @@ class GlobalGraph:
     # Tile geometry
     # ------------------------------------------------------------------
     @classmethod
-    def grid_shape(cls, design: Design) -> Tuple[int, int]:
+    def grid_shape(cls, design: Design) -> tuple[int, int]:
         """Tile grid dimensions ``(nx, ny)`` the graph would have.
 
         Lets callers (the multilevel scheme in particular) size the
@@ -143,7 +143,7 @@ class GlobalGraph:
             for i in range(self.nx):
                 yield (i, j)
 
-    def neighbors(self, tile: Tile) -> List[Tile]:
+    def neighbors(self, tile: Tile) -> list[Tile]:
         """4-adjacent tiles inside the grid."""
         i, j = tile
         out = []
@@ -160,7 +160,7 @@ class GlobalGraph:
     # ------------------------------------------------------------------
     # Edge bookkeeping
     # ------------------------------------------------------------------
-    def edge_between(self, a: Tile, b: Tile) -> Tuple[str, int, int]:
+    def edge_between(self, a: Tile, b: Tile) -> tuple[str, int, int]:
         """Canonical (kind, i, j) key of the edge between adjacent tiles."""
         (ia, ja), (ib, jb) = a, b
         if ja == jb and abs(ia - ib) == 1:
@@ -169,17 +169,17 @@ class GlobalGraph:
             return ("v", ia, min(ja, jb))
         raise ValueError(f"tiles {a} and {b} are not adjacent")
 
-    def edge_capacity(self, key: Tuple[str, int, int]) -> int:
+    def edge_capacity(self, key: tuple[str, int, int]) -> int:
         """Capacity of the edge ``key``."""
         kind, i, j = key
         return int(self.h_capacity[i, j] if kind == "h" else self.v_capacity[i, j])
 
-    def edge_demand(self, key: Tuple[str, int, int]) -> int:
+    def edge_demand(self, key: tuple[str, int, int]) -> int:
         """Current demand of the edge ``key``."""
         kind, i, j = key
         return int(self.h_demand[i, j] if kind == "h" else self.v_demand[i, j])
 
-    def add_edge_demand(self, key: Tuple[str, int, int], delta: int) -> None:
+    def add_edge_demand(self, key: tuple[str, int, int], delta: int) -> None:
         """Adjust the demand of edge ``key`` by ``delta``."""
         kind, i, j = key
         if kind == "h":

@@ -11,12 +11,12 @@ declared read region, validated at merge time with
 
 from __future__ import annotations
 
-from typing import Iterable, Set, Tuple
+from collections.abc import Iterable
 
 from .graph import GlobalGraph
 
-Tile = Tuple[int, int]
-Rect = Tuple[int, int, int, int]
+Tile = tuple[int, int]
+Rect = tuple[int, int, int, int]
 
 
 class GraphSnapshot(GlobalGraph):
@@ -51,15 +51,15 @@ class GraphSnapshot(GlobalGraph):
         self.vertex_demand = base.vertex_demand.copy()
 
 
-def windows_hit(windows: Iterable[Rect], tiles: Set[Tile]) -> bool:
+def windows_hit(windows: Iterable[Rect], tiles: set[Tile]) -> bool:
     """Whether any tile lies inside any (inclusive) window rect.
 
     The merge loop's conflict test: ``windows`` is a speculative net's
     read footprint, ``tiles`` the tiles earlier batch-mates have
     already written to the live graph.
     """
-    for lo_x, lo_y, hi_x, hi_y in windows:
-        for i, j in tiles:
-            if lo_x <= i <= hi_x and lo_y <= j <= hi_y:
-                return True
-    return False
+    return any(
+        lo_x <= i <= hi_x and lo_y <= j <= hi_y
+        for lo_x, lo_y, hi_x, hi_y in windows
+        for i, j in tiles
+    )

@@ -16,7 +16,8 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from ..algorithms import steiner_tree_edges
 from ..layout import Design, Net
@@ -52,7 +53,7 @@ class GlobalRoute:
     """Global route of one net: one tile path per two-pin subnet."""
 
     net: Net
-    paths: List[List[Tile]]
+    paths: list[list[Tile]]
 
     @property
     def wirelength_tiles(self) -> int:
@@ -66,8 +67,8 @@ class GlobalRoutingResult:
 
     design: Design
     graph: GlobalGraph
-    routes: Dict[str, GlobalRoute]
-    failed: List[str]
+    routes: dict[str, GlobalRoute]
+    failed: list[str]
     cpu_seconds: float
 
     @property
@@ -104,6 +105,11 @@ class GlobalRouter:
             speculatively and merges them in canonical order, which is
             provably result-identical to the serial loop (see
             ``docs/parallelism.md``).
+        sanitize: route speculative nets against instrumented
+            snapshots that audit every demand-array access and verify
+            it against the declared A* windows, raising
+            :class:`~repro.analysis.SanitizerViolation` on any
+            undeclared access (see ``docs/static_analysis.md``).
     """
 
     def __init__(
@@ -112,11 +118,13 @@ class GlobalRouter:
         ripup_rounds: int = 8,
         steiner: bool = False,
         workers: int = 1,
+        sanitize: bool = False,
     ) -> None:
         self.stitch_aware = stitch_aware
         self.ripup_rounds = ripup_rounds
         self.steiner = steiner
         self.workers = workers
+        self.sanitize = sanitize
 
     # ------------------------------------------------------------------
     def route(
@@ -137,16 +145,17 @@ class GlobalRouter:
                     graph = GlobalGraph(design)
                 order = self._bottom_up_order(design, graph)
 
-                routes: Dict[str, GlobalRoute] = {}
-                failed: List[str] = []
+                routes: dict[str, GlobalRoute] = {}
+                failed: list[str] = []
                 with tracer.span("initial-pass") as span:
-                    stats: Dict[str, float] = {}
+                    stats: dict[str, float] = {}
                     self._route_many(
                         graph, order, routes, failed, stats, pool, span
                     )
                     span.count(
                         "maze_expansions", stats.get("maze_expansions", 0)
                     )
+                    self._flush_sanitize_counters(span, stats)
                     span.count("nets_routed", len(routes))
                     span.gauge("edge_overflow", graph.edge_overflow())
                     span.gauge(
@@ -174,12 +183,17 @@ class GlobalRouter:
                         span.count(
                             "maze_expansions", stats.get("maze_expansions", 0)
                         )
+                        self._flush_sanitize_counters(span, stats)
                         span.count("ripup_victims", len(victims))
                         span.gauge("edge_overflow", graph.edge_overflow())
                         span.gauge(
                             "vertex_overflow", graph.total_vertex_overflow()
                         )
                 stage.count("failed_nets", len(failed))
+                if self.sanitize:
+                    # Explicit zero: a clean sanitized run reports the
+                    # counter so rollups can assert on its presence.
+                    stage.count("sanitize_violations", 0)
                 if pool is not None:
                     stage.count("parallel_tasks", pool.tasks)
                     stage.gauge(
@@ -197,6 +211,14 @@ class GlobalRouter:
             cpu_seconds=time.perf_counter() - start,
         )
 
+    @staticmethod
+    def _flush_sanitize_counters(span: Span, stats: dict[str, float]) -> None:
+        """Report accumulated sanitizer check counters on ``span``."""
+        for name in sorted(stats):
+            if name.startswith("sanitize_"):
+                span.count(name, stats[name])
+                stats[name] = 0
+
     # ------------------------------------------------------------------
     # Net-batch scheduling (workers > 1)
     # ------------------------------------------------------------------
@@ -204,9 +226,9 @@ class GlobalRouter:
         self,
         graph: GlobalGraph,
         nets: Sequence[Net],
-        routes: Dict[str, GlobalRoute],
-        failed: List[str],
-        stats: Dict[str, float],
+        routes: dict[str, GlobalRoute],
+        failed: list[str],
+        stats: dict[str, float],
         pool: Optional[BatchExecutor],
         span: Span,
     ) -> None:
@@ -264,22 +286,31 @@ class GlobalRouter:
 
     def _route_speculative(
         self, graph: GlobalGraph, net: Net
-    ) -> Tuple[Optional[GlobalRoute], Dict[str, float], List[Tuple[int, int, int, int]]]:
+    ) -> tuple[Optional[GlobalRoute], dict[str, float], list[tuple[int, int, int, int]]]:
         """Worker body: route one net against a demand snapshot.
 
         Returns the route (not yet placed on the live graph), the
         net's local search counters, and every A* window searched —
         the declared read region the merge loop validates.
         """
-        snapshot = GraphSnapshot(graph)
-        stats: Dict[str, float] = {}
-        windows: List[Tuple[int, int, int, int]] = []
-        route = self._route_net(snapshot, net, stats, windows)
+        stats: dict[str, float] = {}
+        windows: list[tuple[int, int, int, int]] = []
+        if self.sanitize:
+            # Imported lazily: repro.analysis is a downstream tool
+            # layer; the routers must not depend on it by default.
+            from ..analysis.sanitize import SanitizedGraphSnapshot
+
+            snapshot = SanitizedGraphSnapshot(graph)
+            route = self._route_net(snapshot, net, stats, windows)
+            snapshot.verify(windows, stats)
+        else:
+            snapshot = GraphSnapshot(graph)
+            route = self._route_net(snapshot, net, stats, windows)
         return route, stats, windows
 
     def _net_tile_rect(
         self, graph: GlobalGraph, net: Net
-    ) -> Tuple[int, int, int, int]:
+    ) -> tuple[int, int, int, int]:
         """Inclusive tile-space bbox of the net's pins."""
         box = net.bbox
         lo = graph.tile_of(box.lo_x, box.lo_y)
@@ -288,8 +319,8 @@ class GlobalRouter:
 
     @staticmethod
     def _commit(
-        routes: Dict[str, GlobalRoute],
-        failed: List[str],
+        routes: dict[str, GlobalRoute],
+        failed: list[str],
         net: Net,
         route: Optional[GlobalRoute],
     ) -> None:
@@ -304,10 +335,10 @@ class GlobalRouter:
     # ------------------------------------------------------------------
     def _bottom_up_order(
         self, design: Design, graph: GlobalGraph
-    ) -> List[Net]:
+    ) -> list[Net]:
         """Local nets first: sort by bbox extent in tiles (Section II-B)."""
 
-        def level(net: Net) -> Tuple[int, int, str]:
+        def level(net: Net) -> tuple[int, int, str]:
             box = net.bbox
             lo = graph.tile_of(box.lo_x, box.lo_y)
             hi = graph.tile_of(box.hi_x, box.hi_y)
@@ -318,14 +349,14 @@ class GlobalRouter:
 
     def two_pin_subnets(
         self, net: Net, graph: GlobalGraph
-    ) -> List[Tuple[Tile, Tile]]:
+    ) -> list[tuple[Tile, Tile]]:
         """Two-pin decomposition over the net's pin tiles.
 
         Prim spanning tree by default; with ``steiner=True`` the edges
         come from a greedy 1-Steiner tree over the tile coordinates
         (added Steiner tiles become ordinary path endpoints).
         """
-        tiles: List[Tile] = []
+        tiles: list[Tile] = []
         seen = set()
         for pin in net.pins:
             t = graph.tile_of(pin.location.x, pin.location.y)
@@ -337,7 +368,7 @@ class GlobalRouter:
         if self.steiner and len(tiles) > 2:
             return [tuple(e) for e in steiner_tree_edges(tiles)]
         in_tree = {0}
-        edges: List[Tuple[Tile, Tile]] = []
+        edges: list[tuple[Tile, Tile]] = []
         dist = {
             idx: (abs(t[0] - tiles[0][0]) + abs(t[1] - tiles[0][1]), 0)
             for idx, t in enumerate(tiles)
@@ -365,8 +396,8 @@ class GlobalRouter:
         self,
         graph: GlobalGraph,
         net: Net,
-        stats: Optional[Dict[str, float]] = None,
-        windows: Optional[List[Tuple[int, int, int, int]]] = None,
+        stats: Optional[dict[str, float]] = None,
+        windows: Optional[list[tuple[int, int, int, int]]] = None,
     ) -> Optional[GlobalRoute]:
         """Route one net on ``graph`` (live graph or worker snapshot).
 
@@ -377,7 +408,7 @@ class GlobalRouter:
         if stats is None:
             stats = {}
         subnets = self.two_pin_subnets(net, graph)
-        paths: List[List[Tile]] = []
+        paths: list[list[Tile]] = []
         for src, dst in subnets:
             path = self._astar(graph, src, dst, stats, windows)
             if path is None:
@@ -393,9 +424,9 @@ class GlobalRouter:
         graph: GlobalGraph,
         src: Tile,
         dst: Tile,
-        stats: Optional[Dict[str, float]] = None,
-        windows: Optional[List[Tuple[int, int, int, int]]] = None,
-    ) -> Optional[List[Tile]]:
+        stats: Optional[dict[str, float]] = None,
+        windows: Optional[list[tuple[int, int, int, int]]] = None,
+    ) -> Optional[list[Tile]]:
         if stats is None:
             stats = {}
         margin = ASTAR_WINDOW_MARGIN
@@ -419,9 +450,9 @@ class GlobalRouter:
         graph: GlobalGraph,
         src: Tile,
         dst: Tile,
-        window: Tuple[int, int, int, int],
-        stats: Dict[str, float],
-    ) -> Optional[List[Tile]]:
+        window: tuple[int, int, int, int],
+        stats: dict[str, float],
+    ) -> Optional[list[Tile]]:
         """Direction-aware A* between two tiles.
 
         Search states carry the arrival direction so the vertex
@@ -438,12 +469,12 @@ class GlobalRouter:
 
         # State: (tile, direction); direction is "h", "v", or "" at src.
         start = (src, "")
-        best: Dict[Tuple[Tile, str], float] = {start: 0.0}
-        parent: Dict[Tuple[Tile, str], Tuple[Tile, str]] = {}
-        heap: List[Tuple[float, float, Tuple[Tile, str]]] = [
+        best: dict[tuple[Tile, str], float] = {start: 0.0}
+        parent: dict[tuple[Tile, str], tuple[Tile, str]] = {}
+        heap: list[tuple[float, float, tuple[Tile, str]]] = [
             (heuristic(src), 0.0, start)
         ]
-        goal: Optional[Tuple[Tile, str]] = None
+        goal: Optional[tuple[Tile, str]] = None
         expansions = 0
         while heap:
             _, g, state = heapq.heappop(heap)
@@ -499,10 +530,10 @@ class GlobalRouter:
 
     @staticmethod
     def _reconstruct(
-        parent: Dict[Tuple[Tile, str], Tuple[Tile, str]],
-        start: Tuple[Tile, str],
-        goal: Tuple[Tile, str],
-    ) -> List[Tile]:
+        parent: dict[tuple[Tile, str], tuple[Tile, str]],
+        start: tuple[Tile, str],
+        goal: tuple[Tile, str],
+    ) -> list[Tile]:
         states = [goal]
         while states[-1] != start:
             states.append(parent[states[-1]])
@@ -535,8 +566,8 @@ class GlobalRouter:
     # Negotiation
     # ------------------------------------------------------------------
     def _overflow_victims(
-        self, graph: GlobalGraph, routes: Dict[str, GlobalRoute]
-    ) -> List[str]:
+        self, graph: GlobalGraph, routes: dict[str, GlobalRoute]
+    ) -> list[str]:
         """Nets crossing an overflowed edge or, in stitch-aware mode,
         holding a line end on a vertex-overflowed tile."""
         victims = []
@@ -572,14 +603,14 @@ class GlobalRouter:
             graph.vertex_history[over_vertex] += 0.5
 
 
-def vertical_run_line_ends(path: Sequence[Tile]) -> List[Tile]:
+def vertical_run_line_ends(path: Sequence[Tile]) -> list[Tile]:
     """Tiles holding a line end of a vertical run of ``path``.
 
     The global route's maximal vertical runs become vertical wire
     segments after layer assignment; their two end tiles each receive a
     line end (the quantity the vertex demand of Section III-A counts).
     """
-    ends: List[Tile] = []
+    ends: list[Tile] = []
     n = len(path)
     run_start: Optional[int] = None
     for idx in range(n - 1):

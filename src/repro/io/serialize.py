@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Union
+from typing import Union
 
 from ..config import RouterConfig
 from ..eval import NetReport, RoutingReport, Violation
@@ -167,7 +167,7 @@ def report_from_dict(data: dict) -> RoutingReport:
     """Rebuild a :class:`RoutingReport` from its dict form."""
     if data.get("format") != FORMAT_REPORT:
         raise ValueError(f"not a report document: {data.get('format')!r}")
-    nets: Dict[str, NetReport] = {
+    nets: dict[str, NetReport] = {
         name: NetReport(
             name=name,
             routed=entry["routed"],

@@ -10,7 +10,7 @@ III/VII/VIII.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..geometry import Point, Rect
 

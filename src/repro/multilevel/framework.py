@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Generic, List, Optional, TypeVar
+from collections.abc import Callable
+from typing import Generic, Optional, TypeVar
 
 from ..layout import Design, Net
 from ..observe import Tracer, ensure
@@ -35,7 +36,7 @@ class TwoPassOutcome(Generic[GlobalResultT, AssignResultT, DetailResultT]):
     global_result: GlobalResultT
     assign_result: AssignResultT
     detail_result: DetailResultT
-    level_order: List[List[Net]]
+    level_order: list[list[Net]]
     cpu_seconds: float
 
 
@@ -59,10 +60,10 @@ class TwoPassFramework(Generic[GlobalResultT, AssignResultT, DetailResultT]):
 
     def __init__(
         self,
-        global_stage: Callable[[Design, List[Net]], GlobalResultT],
+        global_stage: Callable[[Design, list[Net]], GlobalResultT],
         assign_stage: Callable[[Design, GlobalResultT], AssignResultT],
         detail_stage: Callable[
-            [Design, GlobalResultT, AssignResultT, List[Net]], DetailResultT
+            [Design, GlobalResultT, AssignResultT, list[Net]], DetailResultT
         ],
         workers: int = 1,
     ) -> None:

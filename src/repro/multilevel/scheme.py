@@ -11,11 +11,10 @@ like stitching-line constraints optimizable (Section II-B).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
 
 from ..layout import Design, Net
 
-Tile = Tuple[int, int]
+Tile = tuple[int, int]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,7 +52,7 @@ class MultilevelScheme:
         self._check_level(level)
         return (tile0[0] >> level, tile0[1] >> level)
 
-    def grid_at_level(self, level: int) -> Tuple[int, int]:
+    def grid_at_level(self, level: int) -> tuple[int, int]:
         """Coarse grid dimensions at ``level``."""
         self._check_level(level)
         step = 1 << level
@@ -81,14 +80,14 @@ class MultilevelScheme:
                 return level
         return self.num_levels - 1
 
-    def nets_by_level(self) -> Dict[int, List[Net]]:
+    def nets_by_level(self) -> dict[int, list[Net]]:
         """Nets grouped by the level at which they become local."""
-        groups: Dict[int, List[Net]] = {}
+        groups: dict[int, list[Net]] = {}
         for net in self.design.netlist:
             groups.setdefault(self.net_level(net), []).append(net)
         return groups
 
-    def bottom_up_order(self) -> List[Net]:
+    def bottom_up_order(self) -> list[Net]:
         """All nets, lowest locality level first (ties by HPWL, name)."""
         return sorted(
             self.design.netlist,

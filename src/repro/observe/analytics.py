@@ -25,7 +25,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
+from typing import Optional, Union
 
 from ..reporting import format_table
 from .tracer import Number, RunTrace, Span
@@ -53,8 +54,8 @@ class StageStats:
     spans: int = 0
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
-    counters: Dict[str, Number] = dataclasses.field(default_factory=dict)
-    gauges: Dict[str, Number] = dataclasses.field(default_factory=dict)
+    counters: dict[str, Number] = dataclasses.field(default_factory=dict)
+    gauges: dict[str, Number] = dataclasses.field(default_factory=dict)
 
     def absorb(self, span: Span) -> None:
         """Fold one span into the rollup."""
@@ -84,13 +85,13 @@ class TraceSummary:
     design: str
     wall_seconds: float
     cpu_seconds: float
-    stages: Dict[str, StageStats]
-    counters: Dict[str, Number]
+    stages: dict[str, StageStats]
+    counters: dict[str, Number]
 
     @classmethod
     def from_trace(cls, trace: RunTrace) -> "TraceSummary":
         """Roll a trace up by span name."""
-        stages: Dict[str, StageStats] = {}
+        stages: dict[str, StageStats] = {}
         for span in trace.walk():
             stages.setdefault(span.name, StageStats(span.name)).absorb(span)
         return cls(
@@ -102,7 +103,7 @@ class TraceSummary:
             counters=trace.aggregate_counters(),
         )
 
-    def rows(self) -> List[dict]:
+    def rows(self) -> list[dict]:
         """Table rows (one per stage) for rendering."""
         out = []
         for stats in self.stages.values():
@@ -201,12 +202,12 @@ class TraceDiff:
 
     old_label: str
     new_label: str
-    counter_deltas: List[CounterDelta]
-    timing_deltas: List[TimingDelta]
+    counter_deltas: list[CounterDelta]
+    timing_deltas: list[TimingDelta]
     thresholds: DiffThresholds
 
     @property
-    def wall_regressions(self) -> List[TimingDelta]:
+    def wall_regressions(self) -> list[TimingDelta]:
         """Stage timings past the regression threshold."""
         return [t for t in self.timing_deltas if t.regression]
 
@@ -215,7 +216,7 @@ class TraceDiff:
         """Whether the candidate shows no regression at all."""
         return not self.counter_deltas and not self.wall_regressions
 
-    def regressions(self) -> List[str]:
+    def regressions(self) -> list[str]:
         """Human-readable description of every regression."""
         out = [d.describe() for d in self.counter_deltas]
         out += [t.describe() for t in self.wall_regressions]
@@ -243,11 +244,11 @@ def diff_traces(
         if old_counters.get(name, 0) != new_counters.get(name, 0)
     ]
 
-    timing_deltas: List[TimingDelta] = []
+    timing_deltas: list[TimingDelta] = []
     if thresholds.include_wall:
         old_stages = TraceSummary.from_trace(old).stages
         new_stages = TraceSummary.from_trace(new).stages
-        pairs: List[Tuple[str, float, float]] = [
+        pairs: list[tuple[str, float, float]] = [
             (
                 name,
                 old_stages[name].wall_seconds if name in old_stages else 0.0,
@@ -300,13 +301,13 @@ class Hotspot:
     wall_seconds: float
 
 
-def hotspots(trace: RunTrace, n: int = 10) -> List[Hotspot]:
+def hotspots(trace: RunTrace, n: int = 10) -> list[Hotspot]:
     """The ``n`` span paths with the largest *self* wall time.
 
     Self time is a span's wall time minus its children's — inclusive
     times would rank every ancestor of the real hotspot above it.
     """
-    merged: Dict[str, Hotspot] = {}
+    merged: dict[str, Hotspot] = {}
 
     def visit(span: Span, prefix: str) -> None:
         path = f"{prefix}/{span.name}" if prefix else span.name
@@ -342,7 +343,7 @@ def render_summary(summary: TraceSummary, fmt: str = "plain") -> str:
 def render_diff(diff: TraceDiff, fmt: str = "plain") -> str:
     """Table view of a diff, regressions first."""
     title = f"trace diff: {diff.old_label} -> {diff.new_label}"
-    rows: List[dict] = []
+    rows: list[dict] = []
     for delta in diff.counter_deltas:
         rows.append(
             {
@@ -388,8 +389,8 @@ def render_hotspots(spots: Sequence[Hotspot], fmt: str = "plain") -> str:
 
 
 def _render_rows(
-    rows: List[dict],
-    columns: List[str],
+    rows: list[dict],
+    columns: list[str],
     title: str,
     fmt: str,
     decimals: int = 2,
@@ -402,7 +403,7 @@ def _render_rows(
 
 
 def _markdown_table(
-    rows: List[dict], columns: List[str], title: str, decimals: int
+    rows: list[dict], columns: list[str], title: str, decimals: int
 ) -> str:
     def cell(value: object) -> str:
         if isinstance(value, float):
@@ -419,7 +420,7 @@ def _markdown_table(
     return "\n".join(lines)
 
 
-def _kv_text(mapping: Dict[str, Number]) -> str:
+def _kv_text(mapping: dict[str, Number]) -> str:
     return " ".join(f"{k}={v}" for k, v in sorted(mapping.items()))
 
 

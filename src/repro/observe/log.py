@@ -19,13 +19,21 @@ from __future__ import annotations
 
 import logging
 import sys
+import weakref
 from contextlib import contextmanager
-from typing import Iterator, Optional, TextIO
+from collections.abc import Iterator
+from typing import Optional, TextIO
 
 from .tracer import Number, Span, Tracer
 
 #: Root logger name of the bridge; span loggers are children of it.
 TRACE_LOGGER_NAME = "repro.trace"
+
+#: Handlers installed by :func:`configure_logging`, tracked here so a
+#: later call can replace them without touching handlers the user
+#: attached.  Weak references: a handler removed elsewhere just drops
+#: out of the set.
+_installed_handlers: "weakref.WeakSet[logging.Handler]" = weakref.WeakSet()
 
 #: Span names that report per-round progress — always worth INFO even
 #: though they sit deep in the tree.
@@ -126,13 +134,14 @@ def configure_logging(
         return None
     logger = logging.getLogger(TRACE_LOGGER_NAME)
     for handler in list(logger.handlers):
-        if getattr(handler, "_repro_trace_handler", False):
+        if handler in _installed_handlers:
             logger.removeHandler(handler)
+            _installed_handlers.discard(handler)
     handler = logging.StreamHandler(stream or sys.stderr)
     handler.setFormatter(
         logging.Formatter("%(levelname).1s %(name)s: %(message)s")
     )
-    handler._repro_trace_handler = True  # type: ignore[attr-defined]
+    _installed_handlers.add(handler)
     logger.addHandler(handler)
     logger.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
     logger.propagate = False

@@ -26,7 +26,8 @@ import json
 import pathlib
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Union
+from collections.abc import Iterator
+from typing import Optional, Union
 
 TRACE_FORMAT = "repro-trace"
 TRACE_VERSION = 1
@@ -54,9 +55,9 @@ class Span:
     started_at: float = 0.0
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
-    counters: Dict[str, Number] = dataclasses.field(default_factory=dict)
-    gauges: Dict[str, Number] = dataclasses.field(default_factory=dict)
-    children: List["Span"] = dataclasses.field(default_factory=list)
+    counters: dict[str, Number] = dataclasses.field(default_factory=dict)
+    gauges: dict[str, Number] = dataclasses.field(default_factory=dict)
+    children: list["Span"] = dataclasses.field(default_factory=list)
 
     def count(self, name: str, delta: Number = 1) -> None:
         """Add ``delta`` to counter ``name`` of this span."""
@@ -128,9 +129,9 @@ class RunTrace:
     design: str = ""
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
-    spans: List[Span] = dataclasses.field(default_factory=list)
-    counters: Dict[str, Number] = dataclasses.field(default_factory=dict)
-    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+    spans: list[Span] = dataclasses.field(default_factory=list)
+    counters: dict[str, Number] = dataclasses.field(default_factory=dict)
+    meta: dict[str, object] = dataclasses.field(default_factory=dict)
 
     # -- queries -------------------------------------------------------
     def walk(self) -> Iterator[Span]:
@@ -145,17 +146,17 @@ class RunTrace:
                 return span
         return None
 
-    def aggregate_counters(self) -> Dict[str, Number]:
+    def aggregate_counters(self) -> dict[str, Number]:
         """All counters summed over the whole trace (spans + orphans)."""
-        totals: Dict[str, Number] = dict(self.counters)
+        totals: dict[str, Number] = dict(self.counters)
         for span in self.walk():
             for name, value in span.counters.items():
                 totals[name] = totals.get(name, 0) + value
         return totals
 
-    def stage_wall_seconds(self) -> Dict[str, float]:
+    def stage_wall_seconds(self) -> dict[str, float]:
         """Wall time per top-level span name (summed over repeats)."""
-        out: Dict[str, float] = {}
+        out: dict[str, float] = {}
         for span in self.spans:
             out[span.name] = out.get(span.name, 0.0) + span.wall_seconds
         return out
@@ -225,10 +226,10 @@ class Tracer:
     def __init__(self) -> None:
         self._epoch_wall = time.perf_counter()
         self._epoch_cpu = time.process_time()
-        self.spans: List[Span] = []
+        self.spans: list[Span] = []
         #: Counters recorded while no span is open.
-        self.counters: Dict[str, Number] = {}
-        self._stack: List[Span] = []
+        self.counters: dict[str, Number] = {}
+        self._stack: list[Span] = []
 
     # -- recording -----------------------------------------------------
     @property
@@ -279,7 +280,7 @@ class Tracer:
         self,
         router: str = "",
         design: str = "",
-        meta: Optional[Dict[str, object]] = None,
+        meta: Optional[dict[str, object]] = None,
     ) -> RunTrace:
         """Freeze the recorded data into a :class:`RunTrace`.
 

@@ -28,14 +28,18 @@ throughput, never the correctness argument.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple, TypeVar
+from collections.abc import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, TypeVar, overload
 
 from ..geometry.interval import Interval
+
+if TYPE_CHECKING:
+    from ..layout import Net
 
 T = TypeVar("T")
 
 #: An inclusive axis-aligned rectangle ``(lo_x, lo_y, hi_x, hi_y)``.
-Rect = Tuple[int, int, int, int]
+Rect = tuple[int, int, int, int]
 
 
 def expand_rect(rect: Rect, margin: int) -> Rect:
@@ -57,7 +61,7 @@ def rects_overlap(a: Rect, b: Rect) -> bool:
 
 
 @dataclasses.dataclass
-class BatchPlan(Sequence):
+class BatchPlan(Sequence["list[T]"]):
     """The planner's output: ordered batches of concurrently-safe items.
 
     Attributes:
@@ -66,16 +70,22 @@ class BatchPlan(Sequence):
         expand: the margin the item rects were grown by.
     """
 
-    batches: List[List[T]]
+    batches: list[list[T]]
     expand: int = 0
 
     def __len__(self) -> int:
         return len(self.batches)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> list[T]: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> Sequence[list[T]]: ...
+
+    def __getitem__(self, index):  # type: ignore[no-untyped-def]
         return self.batches[index]
 
-    def __iter__(self) -> Iterator[List[T]]:
+    def __iter__(self) -> Iterator[list[T]]:
         return iter(self.batches)
 
     @property
@@ -111,9 +121,9 @@ class _SpatialHash:
 
     def __init__(self, cell: int) -> None:
         self._cell = max(1, cell)
-        self._buckets: Dict[Tuple[int, int], List[int]] = {}
+        self._buckets: dict[tuple[int, int], list[int]] = {}
 
-    def _cells(self, rect: Rect) -> Iterator[Tuple[int, int]]:
+    def _cells(self, rect: Rect) -> Iterator[tuple[int, int]]:
         c = self._cell
         for cx in range(rect[0] // c, rect[2] // c + 1):
             for cy in range(rect[1] // c, rect[3] // c + 1):
@@ -138,7 +148,7 @@ def plan_batches(
     rect_of: Callable[[T], Rect],
     expand: int = 0,
     cell: int = 32,
-) -> BatchPlan:
+) -> BatchPlan[T]:
     """Partition ``items`` into conflict-free batches.
 
     Args:
@@ -153,9 +163,9 @@ def plan_batches(
         that keeps both invariants: no overlap with a batch-mate, and
         strictly after every earlier item it overlaps.
     """
-    rects: List[Rect] = []
-    batch_index: List[int] = []
-    batches: List[List[T]] = []
+    rects: list[Rect] = []
+    batch_index: list[int] = []
+    batches: list[list[T]] = []
     index = _SpatialHash(cell)
     for i, item in enumerate(items):
         rect = expand_rect(rect_of(item), expand)
@@ -174,7 +184,7 @@ def plan_batches(
     return BatchPlan(batches=batches, expand=expand)
 
 
-def net_rect(net) -> Rect:
+def net_rect(net: Net) -> Rect:
     """Inclusive pin bounding box of a :class:`~repro.layout.Net`."""
     box = net.bbox
     return (box.lo_x, box.lo_y, box.hi_x, box.hi_y)

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from collections.abc import Callable, Sequence
+from typing import Optional, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -51,7 +52,7 @@ class BatchExecutor:
     def __enter__(self) -> "BatchExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     def shutdown(self) -> None:
@@ -61,7 +62,7 @@ class BatchExecutor:
             self._pool = None
 
     # ------------------------------------------------------------------
-    def run(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def run(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item concurrently; results in item order.
 
         A single-item batch runs inline on the calling thread — the
@@ -76,9 +77,9 @@ class BatchExecutor:
                 max_workers=self.workers,
                 thread_name_prefix="repro-route",
             )
-        timed_results: List[tuple] = []
+        timed_results: list[tuple[R, float]] = []
 
-        def timed(item: T) -> tuple:
+        def timed(item: T) -> tuple[R, float]:
             start = time.perf_counter()
             result = fn(item)
             return result, time.perf_counter() - start

@@ -16,7 +16,7 @@ bench_ablation_placement.py``) estimates the paper's proposed gain.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Set, Tuple
+from typing import Optional
 
 from ..geometry import Point
 from ..layout import Design, Net, Netlist, Pin
@@ -66,15 +66,15 @@ def refine_pin_placement(
             return stitches.in_unfriendly_region(x)
         return stitches.is_on_line(x)
 
-    taken: Set[Tuple[int, int]] = {
+    taken: set[tuple[int, int]] = {
         (p.location.x, p.location.y) for p in design.netlist.pins
     }
     moved = 0
     unmovable = 0
     displacement = 0
-    new_nets: List[Net] = []
+    new_nets: list[Net] = []
     for net in design.netlist:
-        new_pins: List[Pin] = []
+        new_pins: list[Pin] = []
         for pin in net.pins:
             x, y = pin.location.x, pin.location.y
             if not offending(x):
@@ -117,7 +117,7 @@ def _nearest_legal_x(
     max_shift: int,
     width: int,
     offending,
-    taken: Set[Tuple[int, int]],
+    taken: set[tuple[int, int]],
 ) -> Optional[int]:
     for distance in range(1, max_shift + 1):
         for candidate in (x - distance, x + distance):

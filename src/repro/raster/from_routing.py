@@ -11,7 +11,7 @@ applied to real geometry).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +30,7 @@ def window_polygons(
     layer: int,
     pixels_per_pitch: int = 4,
     wire_width: float = 0.45,
-) -> List[Polygon]:
+) -> list[Polygon]:
     """Wire polygons of one layer inside ``window``, in pixel coords.
 
     Wires are drawn ``wire_width`` pitches wide, centred on their
@@ -40,7 +40,7 @@ def window_polygons(
     """
     if not 0.0 < wire_width <= 1.0:
         raise ValueError("wire_width must be in (0, 1] pitches")
-    polygons: List[Polygon] = []
+    polygons: list[Polygon] = []
     half = wire_width / 2.0
     scale = pixels_per_pitch
 
@@ -88,7 +88,7 @@ def rasterize_window(
     layer: int,
     pixels_per_pitch: int = 4,
     kernel: DitherKernel = DitherKernel.PAPER,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Gray-level and dithered bitmaps of one routed window."""
     polygons = window_polygons(result, window, layer, pixels_per_pitch)
     width = window.width * pixels_per_pitch
@@ -104,7 +104,7 @@ class RoutedShortPolygonDefect:
 
     net: str
     line_x: int
-    end: Tuple[int, int, int]
+    end: tuple[int, int, int]
     stub_length: int
     relative_error: float
 
@@ -115,7 +115,7 @@ def score_short_polygons(
     margin: int = 4,
     kernel: DitherKernel = DitherKernel.PAPER,
     limit: Optional[int] = None,
-) -> List[RoutedShortPolygonDefect]:
+) -> list[RoutedShortPolygonDefect]:
     """Rasterize every short polygon the solution contains and score it.
 
     For each site, the stub (line end → stitching line) is rasterized
@@ -124,7 +124,7 @@ def score_short_polygons(
     """
     design = result.design
     assert design.stitches is not None
-    scores: List[RoutedShortPolygonDefect] = []
+    scores: list[RoutedShortPolygonDefect] = []
     for name in sorted(result.nets):
         record = result.nets[name]
         edges = trim_dangling(record.edges, record.pin_nodes)

@@ -18,7 +18,6 @@ constraint are *hard* while crossing horizontally is allowed.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
 
 import numpy as np
 
@@ -31,11 +30,11 @@ class OverlayDistortion:
     """Mis-printed fraction of one pattern under one overlay error."""
 
     pattern: str
-    overlay: Tuple[int, int]
+    overlay: tuple[int, int]
     distortion: float
 
 
-def _pattern_polygons(kind: str, stitch_x: int, canvas: int) -> List[Polygon]:
+def _pattern_polygons(kind: str, stitch_x: int, canvas: int) -> list[Polygon]:
     mid = canvas / 2
     if kind == "horizontal wire":
         return [Polygon(2, mid - 1, canvas - 2, mid + 1)]
@@ -48,7 +47,7 @@ def _pattern_polygons(kind: str, stitch_x: int, canvas: int) -> List[Polygon]:
 
 def pattern_distortion(
     kind: str,
-    overlay: Tuple[int, int],
+    overlay: tuple[int, int],
     stitch_x: int = 12,
     canvas: int = 24,
 ) -> OverlayDistortion:
@@ -74,10 +73,10 @@ PATTERN_KINDS = ("horizontal wire", "via", "vertical wire")
 
 
 def overlay_study(
-    overlays: Tuple[Tuple[int, int], ...] = ((1, 0), (2, 0), (1, 1)),
+    overlays: tuple[tuple[int, int], ...] = ((1, 0), (2, 0), (1, 1)),
     stitch_x: int = 12,
     canvas: int = 24,
-) -> List[OverlayDistortion]:
+) -> list[OverlayDistortion]:
     """The full Fig. 1b table: every pattern kind x overlay error."""
     return [
         pattern_distortion(kind, overlay, stitch_x, canvas)

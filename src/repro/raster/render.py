@@ -13,7 +13,7 @@ dithering non-trivial.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

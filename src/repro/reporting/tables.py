@@ -8,7 +8,9 @@ matching how the paper normalizes its final rows).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
+
+from typing import Optional, Union
 
 Value = Union[str, int, float, None]
 
@@ -25,7 +27,7 @@ def format_cell(value: Value, decimals: int = 2) -> str:
 
 
 def format_table(
-    rows: Sequence[Dict[str, Value]],
+    rows: Sequence[dict[str, Value]],
     columns: Optional[Sequence[str]] = None,
     title: Optional[str] = None,
     decimals: int = 2,
@@ -42,7 +44,7 @@ def format_table(
         max(len(header[i]), *(len(r[i]) for r in body))
         for i in range(len(columns))
     ]
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append(
@@ -55,32 +57,30 @@ def format_table(
 
 
 def comparison_row(
-    rows: Sequence[Dict[str, Value]],
-    reference_rows: Sequence[Dict[str, Value]],
+    rows: Sequence[dict[str, Value]],
+    reference_rows: Sequence[dict[str, Value]],
     columns: Sequence[str],
     label_column: str,
     label: str = "Comp.",
-) -> Dict[str, Value]:
+) -> dict[str, Value]:
     """Normalized totals row: sum(rows) / sum(reference_rows) per column.
 
     Non-numeric or missing entries are skipped; a zero reference sum
     yields ``None`` (printed as NA), matching the paper's ``-*`` marks.
     """
-    out: Dict[str, Value] = {label_column: label}
+    out: dict[str, Value] = {label_column: label}
     for column in columns:
         if column == label_column:
             continue
         total = _numeric_sum(rows, column)
         reference = _numeric_sum(reference_rows, column)
-        if total is None or reference in (None, 0):
-            out[column] = None
-        else:
-            out[column] = total / reference
+        bad = total is None or reference in (None, 0)
+        out[column] = None if bad else total / reference
     return out
 
 
 def _numeric_sum(
-    rows: Sequence[Dict[str, Value]], column: str
+    rows: Sequence[dict[str, Value]], column: str
 ) -> Optional[float]:
     total = 0.0
     seen = False

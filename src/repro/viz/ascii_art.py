@@ -7,7 +7,7 @@ One character per grid cell on a chosen layer: ``|`` stitching line,
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..detailed import DetailedResult
 from ..detailed.wiring import trim_dangling
@@ -23,7 +23,7 @@ def render_layer_ascii(
     design = result.design
     assert design.stitches is not None
     window = window or design.bounds
-    grid: List[List[str]] = [
+    grid: list[list[str]] = [
         ["." for _ in range(window.width)] for _ in range(window.height)
     ]
 

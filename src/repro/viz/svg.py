@@ -8,7 +8,7 @@ close-ups.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..detailed import DetailedResult
 from ..detailed.wiring import short_polygon_sites, trim_dangling
@@ -45,7 +45,7 @@ def render_routing_svg(
     width_px = window.width * _PX
     height_px = window.height * _PX
 
-    parts: List[str] = [
+    parts: list[str] = [
         f'<svg xmlns="http://www.w3.org/2000/svg" '
         f'width="{width_px}" height="{height_px}" '
         f'viewBox="0 0 {width_px} {height_px}">',
@@ -66,7 +66,7 @@ def render_routing_svg(
             f'stroke="#888888" stroke-width="1.5" stroke-dasharray="6,4"/>'
         )
 
-    sp_markers: List[Tuple[int, int, int]] = []
+    sp_markers: list[tuple[int, int, int]] = []
     for name in sorted(result.nets):
         record = result.nets[name]
         edges = trim_dangling(record.edges, record.pin_nodes)
@@ -95,8 +95,8 @@ def render_routing_svg(
     return "\n".join(parts)
 
 
-def _segment_svg(seg: WireSegment, window: Rect, sx, sy) -> List[str]:
-    out: List[str] = []
+def _segment_svg(seg: WireSegment, window: Rect, sx, sy) -> list[str]:
+    out: list[str] = []
     orient = seg.orientation
     if orient is Orientation.VIA:
         x, y = seg.a.x, seg.a.y

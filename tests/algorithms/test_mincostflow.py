@@ -102,7 +102,7 @@ class TestAgainstNetworkx:
         # edges of differing costs.
         seen = {}
         ok = True
-        for u, v, cap, cost in edges:
+        for u, v, _cap, cost in edges:
             if (u, v) in seen and seen[(u, v)] != cost:
                 ok = False
             seen[(u, v)] = cost

@@ -1,0 +1,185 @@
+"""Speculation-footprint sanitizer: injection and integration tests.
+
+The sanitized overlays must (a) stay silent on protocol-conforming
+access, (b) fail loudly on every class of undeclared access, and
+(c) catch a bypass injected into the real speculative routing path.
+"""
+
+import pytest
+
+from repro.analysis import (
+    SanitizedGraphSnapshot,
+    SanitizedGridOverlay,
+    SanitizerViolation,
+)
+from repro.config import RouterConfig
+from repro.core import StitchAwareRouter
+from repro.detailed import DetailedGrid
+from repro.geometry import Point
+from repro.globalroute import GlobalGraph
+from repro.layout import Design, Net, Netlist, Pin, Technology
+
+
+def make_design(nets=None, width=90, height=90):
+    config = RouterConfig(stitch_spacing=15, tile_size=15)
+    if nets is None:
+        nets = [
+            Net("n0", (Pin("a", Point(1, 1), 1), Pin("b", Point(50, 40), 1)))
+        ]
+    return Design(
+        name="toy",
+        width=width,
+        height=height,
+        technology=Technology(3),
+        netlist=Netlist(nets),
+        config=config,
+    )
+
+
+def quad_design():
+    """Four pairwise-distant nets: guaranteed speculative batches."""
+    nets = [
+        Net("n0", (Pin("a", Point(2, 2), 1), Pin("b", Point(12, 6), 1))),
+        Net("n1", (Pin("c", Point(62, 2), 1), Pin("d", Point(72, 6), 1))),
+        Net("n2", (Pin("e", Point(2, 62), 1), Pin("f", Point(12, 66), 1))),
+        Net("n3", (Pin("g", Point(62, 62), 1), Pin("h", Point(72, 66), 1))),
+    ]
+    return make_design(nets=nets)
+
+
+class TestSanitizedGraphSnapshot:
+    def test_demand_read_inside_window_passes(self):
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        _ = snap.h_demand[0, 0]
+        stats = {}
+        snap.verify([(0, 0, 5, 5)], stats)
+        assert stats["sanitize_cells_checked"] == 1
+        assert stats["sanitize_nets_checked"] == 1
+
+    def test_demand_read_outside_windows_raises(self):
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        _ = snap.v_demand[2, 1]
+        with pytest.raises(SanitizerViolation, match="undeclared demand"):
+            snap.verify([(0, 0, 1, 1)])
+
+    def test_no_windows_means_no_reads_allowed(self):
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        _ = snap.vertex_demand[0, 0]
+        with pytest.raises(SanitizerViolation):
+            snap.verify([])
+
+    def test_edge_access_needs_both_touched_tiles(self):
+        # An h-edge read at (i, j) observes tiles (i, j) AND (i+1, j);
+        # a window covering only the tail tile is an undeclared read.
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        _ = snap.h_demand[1, 1]
+        with pytest.raises(SanitizerViolation):
+            snap.verify([(1, 1, 1, 1)])
+        snap.verify([(1, 1, 2, 1)])
+
+    def test_demand_write_is_recorded(self):
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        snap.h_demand[0, 0] = 3
+        with pytest.raises(SanitizerViolation):
+            snap.verify([])
+
+    def test_shared_capacity_write_raises_immediately(self):
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        with pytest.raises(SanitizerViolation, match="frozen"):
+            snap.h_capacity[0, 0] = 99
+
+    def test_shared_history_write_raises_immediately(self):
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        with pytest.raises(SanitizerViolation, match="frozen"):
+            snap.v_history[0, 0] = 1.0
+
+    def test_non_scalar_access_is_unauditable(self):
+        snap = SanitizedGraphSnapshot(GlobalGraph(make_design()))
+        with pytest.raises(SanitizerViolation, match="unauditable"):
+            _ = snap.h_demand[:, 0]
+
+
+class TestSanitizedGridOverlay:
+    def test_conforming_access_verifies_clean(self):
+        overlay = SanitizedGridOverlay(DetailedGrid(make_design()))
+        node = (5, 5, 1)
+        assert overlay._owner.get(node) is None
+        overlay._owner[node] = "n0"
+        stats = {}
+        overlay.verify(stats)
+        assert stats["sanitize_nets_checked"] == 1
+        assert stats["sanitize_nodes_checked"] >= 2  # the read + the write
+
+    def test_base_read_bypassing_overlay_raises(self):
+        overlay = SanitizedGridOverlay(DetailedGrid(make_design()))
+        with pytest.raises(SanitizerViolation, match="bypassed the overlay"):
+            overlay._owner._base.get((7, 7, 1))
+
+    def test_overlay_mediated_read_then_base_read_passes(self):
+        overlay = SanitizedGridOverlay(DetailedGrid(make_design()))
+        node = (7, 7, 1)
+        overlay._owner.get(node)  # records the read footprint first
+        assert overlay._owner._base.get(node) is None
+
+    def test_live_ownership_write_raises(self):
+        overlay = SanitizedGridOverlay(DetailedGrid(make_design()))
+        with pytest.raises(SanitizerViolation, match="live ownership"):
+            overlay._owner._base[(3, 3, 1)] = "n0"
+
+    def test_pin_set_mutation_raises(self):
+        overlay = SanitizedGridOverlay(DetailedGrid(make_design()))
+        with pytest.raises(SanitizerViolation, match="pin-set mutation"):
+            overlay._pins.add((1, 1, 1))
+
+    def test_undeclared_buffered_write_caught_at_verify(self):
+        overlay = SanitizedGridOverlay(DetailedGrid(make_design()))
+        # Inject a delta entry without declaring it in the write set —
+        # the shape of a hypothetical code path mutating `local` behind
+        # the overlay's back.
+        overlay._owner.local[(9, 9, 1)] = "n0"
+        with pytest.raises(SanitizerViolation, match="write footprint"):
+            overlay.verify()
+
+
+class TestRouterIntegration:
+    def test_clean_speculative_run_counts_checks(self):
+        flow = StitchAwareRouter(
+            config=RouterConfig(workers=2, sanitize=True)
+        ).route(quad_design())
+        counters = flow.trace.aggregate_counters()
+        assert counters["sanitize_violations"] == 0
+        assert counters["sanitize_nets_checked"] >= 1
+        assert counters["sanitize_nodes_checked"] >= 1
+        assert flow.report.routed_nets == 4
+
+    def test_injected_bypass_read_is_detected(self, monkeypatch):
+        from repro.detailed.router import DetailedRouter
+
+        original = DetailedRouter._connect_net
+
+        def sneaky(self, design, grid, net, trunk_pieces, **kwargs):
+            if isinstance(grid, SanitizedGridOverlay):
+                # Peek at the live ownership dict without recording the
+                # read in the overlay footprint.
+                grid._owner._base.get((0, 0, 1))
+            return original(self, design, grid, net, trunk_pieces, **kwargs)
+
+        monkeypatch.setattr(DetailedRouter, "_connect_net", sneaky)
+        with pytest.raises(SanitizerViolation, match="bypassed the overlay"):
+            StitchAwareRouter(
+                config=RouterConfig(workers=2, sanitize=True)
+            ).route(quad_design())
+
+    def test_sanitize_off_does_not_wrap(self, monkeypatch):
+        from repro.detailed.router import DetailedRouter
+
+        seen = []
+        original = DetailedRouter._connect_net
+
+        def spy(self, design, grid, net, trunk_pieces, **kwargs):
+            seen.append(type(grid).__name__)
+            return original(self, design, grid, net, trunk_pieces, **kwargs)
+
+        monkeypatch.setattr(DetailedRouter, "_connect_net", spy)
+        StitchAwareRouter(config=RouterConfig(workers=2)).route(quad_design())
+        assert "SanitizedGridOverlay" not in seen

@@ -86,9 +86,8 @@ class TestColoringHeuristics:
     def proper(self, panel, colors):
         for a, b in itertools.combinations(range(len(panel.segments)), 2):
             sa, sb = panel.segments[a], panel.segments[b]
-            if sa.span.overlaps(sb.span):
-                if colors[sa.index] == colors[sb.index]:
-                    return False
+            if sa.span.overlaps(sb.span) and colors[sa.index] == colors[sb.index]:
+                return False
         return True
 
     def test_flow_coloring_proper_when_density_fits(self):

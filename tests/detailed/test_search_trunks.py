@@ -161,6 +161,6 @@ class TestMaterializeTrunks:
         assert design.stitches is not None
         for net_pieces in pieces.values():
             for piece in net_pieces:
-                for x, y, layer in piece.nodes:
+                for x, _y, layer in piece.nodes:
                     if design.technology.is_vertical(layer):
                         assert not design.stitches.is_on_line(x)

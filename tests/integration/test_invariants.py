@@ -58,7 +58,7 @@ def test_flow_invariants(spec, seed):
             assert seen.setdefault(node, name) == name
 
     # Electrical connectivity of routed nets.
-    for name, rn in flow.detailed_result.nets.items():
+    for rn in flow.detailed_result.nets.values():
         if not rn.routed:
             continue
         ds = DisjointSet()

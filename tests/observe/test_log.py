@@ -34,9 +34,8 @@ class TestLoggingTracer:
     def test_span_close_logged_with_path_and_counters(self, caplog):
         with caplog.at_level(logging.INFO, logger=TRACE_LOGGER_NAME):
             tracer = LoggingTracer()
-            with tracer.span("pass1"):
-                with tracer.span("global-route") as span:
-                    span.count("maze_expansions", 42)
+            with tracer.span("pass1"), tracer.span("global-route") as span:
+                span.count("maze_expansions", 42)
         messages = [r.getMessage() for r in caplog.records]
         assert any(
             "pass1/global-route" in m and "maze_expansions=42" in m
@@ -48,9 +47,9 @@ class TestLoggingTracer:
     def test_round_spans_log_at_info_despite_depth(self, caplog):
         with caplog.at_level(logging.INFO, logger=TRACE_LOGGER_NAME):
             tracer = LoggingTracer()
-            with tracer.span("pass1"), tracer.span("global-route"):
-                with tracer.span("negotiation-round", round=2):
-                    pass
+            with tracer.span("pass1"), tracer.span("global-route"), \
+                    tracer.span("negotiation-round", round=2):
+                pass
         round_records = [
             r for r in caplog.records if "negotiation-round" in r.name
         ]
@@ -61,17 +60,17 @@ class TestLoggingTracer:
 
     def test_deep_spans_and_flushes_only_at_debug(self, caplog):
         tracer = LoggingTracer()
-        with caplog.at_level(logging.INFO, logger=TRACE_LOGGER_NAME):
-            with tracer.span("pass1"), tracer.span("stage"):
-                with tracer.span("inner-detail"):
-                    tracer.count("bulk", 100)
+        with caplog.at_level(logging.INFO, logger=TRACE_LOGGER_NAME), \
+                tracer.span("pass1"), tracer.span("stage"), \
+                tracer.span("inner-detail"):
+            tracer.count("bulk", 100)
         info_msgs = [r for r in caplog.records if "inner-detail" in r.name]
         assert not info_msgs
         caplog.clear()
-        with caplog.at_level(logging.DEBUG, logger=TRACE_LOGGER_NAME):
-            with tracer.span("pass2"), tracer.span("stage"):
-                with tracer.span("inner-detail"):
-                    tracer.count("bulk", 100)
+        with caplog.at_level(logging.DEBUG, logger=TRACE_LOGGER_NAME), \
+                tracer.span("pass2"), tracer.span("stage"), \
+                tracer.span("inner-detail"):
+            tracer.count("bulk", 100)
         messages = [r.getMessage() for r in caplog.records]
         assert any("open" in m and "inner-detail" in m for m in messages)
         assert any("bulk += 100" in m for m in messages)
@@ -94,11 +93,9 @@ class TestConfigureLogging:
         base = len(logging.getLogger(TRACE_LOGGER_NAME).handlers)
         configure_logging(1, stream=io.StringIO())
         configure_logging(2, stream=io.StringIO())
-        ours = [
-            h
-            for h in clean_logger.handlers
-            if getattr(h, "_repro_trace_handler", False)
-        ]
+        from repro.observe.log import _installed_handlers
+
+        ours = [h for h in clean_logger.handlers if h in _installed_handlers]
         assert len(ours) == 1
         assert len(clean_logger.handlers) == base + 1
 

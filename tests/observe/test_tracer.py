@@ -20,9 +20,8 @@ class TestSpans:
         with tracer.span("outer"):
             with tracer.span("inner-a"):
                 pass
-            with tracer.span("inner-b"):
-                with tracer.span("leaf"):
-                    pass
+            with tracer.span("inner-b"), tracer.span("leaf"):
+                pass
         trace = tracer.finish()
         assert [s.name for s in trace.spans] == ["outer"]
         outer = trace.spans[0]
@@ -36,9 +35,8 @@ class TestSpans:
 
     def test_timing_monotonicity(self):
         tracer = Tracer()
-        with tracer.span("outer"):
-            with tracer.span("inner"):
-                time.sleep(0.01)
+        with tracer.span("outer"), tracer.span("inner"):
+            time.sleep(0.01)
         trace = tracer.finish()
         outer = trace.spans[0]
         inner = outer.children[0]

@@ -58,9 +58,10 @@ class TestRun:
                 raise RuntimeError("net exploded")
             return x
 
-        with BatchExecutor(2) as pool:
-            with pytest.raises(RuntimeError, match="net exploded"):
-                pool.run(boom, [1, 2, 3])
+        with BatchExecutor(2) as pool, pytest.raises(
+            RuntimeError, match="net exploded"
+        ):
+            pool.run(boom, [1, 2, 3])
 
 
 class TestAccounting:

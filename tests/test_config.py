@@ -1,5 +1,7 @@
 """Tests for RouterConfig validation and benchmark scaling."""
 
+import dataclasses
+
 import pytest
 
 from repro.config import DEFAULT_CONFIG, RouterConfig, benchmark_scale
@@ -41,7 +43,7 @@ class TestRouterConfig:
             RouterConfig(tile_size=1)
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             DEFAULT_CONFIG.alpha = 2.0  # type: ignore[misc]
 
 
