@@ -9,6 +9,15 @@ must match the baseline **exactly** — any drift is a behavior change
 somebody has to sign off on; wall time fails only past the tolerance
 (default 25%) and above the noise floor.
 
+Every fresh solution is additionally run through the independent
+solution auditor (:func:`repro.analysis.audit_solution`): the AUD
+rules re-derive all stitching constraints from the raw geometry and
+cross-check the report's counters, so the gate no longer trusts the
+evaluator it is diffing (``--no-audit`` opts out).  The audit is
+invoked directly on the finished flow — not via
+``RouterConfig(audit=True)`` — so the produced traces stay
+byte-compatible with the committed (audit-free) baselines.
+
 Exit status is non-zero on any regression, so CI can gate on it::
 
     PYTHONPATH=src python benchmarks/regression.py                 # full gate
@@ -16,6 +25,7 @@ Exit status is non-zero on any regression, so CI can gate on it::
     PYTHONPATH=src python benchmarks/regression.py --no-wall       # counters only
     PYTHONPATH=src python benchmarks/regression.py --update        # refresh baselines
     PYTHONPATH=src python benchmarks/regression.py --workers 4     # parallel gate
+    PYTHONPATH=src python benchmarks/regression.py --snapshot-dir .  # refresh BENCH_*.json
 
 ``--workers N`` routes with the parallel net-batch engine and diffs
 the result against the *same serial baselines*: the engine's
@@ -32,6 +42,11 @@ confirm only the counters you expected moved, and commit the new
 baselines together with the change that moved them.  Cross-machine
 wall times are not comparable, which is why CI runs ``--no-wall``;
 the committed wall numbers only serve local before/after comparisons.
+
+``--snapshot-dir DIR`` also writes the fresh ``BENCH_<circuit>.json``
+documents to ``DIR`` (same label→trace schema as the baselines).
+Pointed at the repo root, this refreshes the top-level perf-trajectory
+snapshots; CI uploads them as artifacts on every gate run.
 """
 
 from __future__ import annotations
@@ -42,9 +57,10 @@ import pathlib
 import sys
 from typing import Dict, List, Optional
 
+from repro.analysis import audit_solution, render_audit
 from repro.benchmarks_gen import mcnc_design
 from repro.config import RouterConfig
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.core import BaselineRouter, FlowResult, StitchAwareRouter
 from repro.observe import (
     DiffThresholds,
     RunTrace,
@@ -74,15 +90,61 @@ def baseline_path(circuit: str) -> pathlib.Path:
     return BASELINE_DIR / f"BENCH_{circuit}.json"
 
 
-def run_circuit(circuit: str, workers: int = 1) -> Dict[str, RunTrace]:
-    """Route one gate circuit with every router; traces keyed by label."""
+def run_circuit(circuit: str, workers: int = 1) -> Dict[str, FlowResult]:
+    """Route one gate circuit with every router; flows keyed by label.
+
+    Returns the full :class:`~repro.core.FlowResult` (not just the
+    trace) so the caller can both diff the traces and independently
+    audit the solutions.
+    """
     scale = CIRCUITS[circuit]
     config = RouterConfig(workers=workers)
-    traces: Dict[str, RunTrace] = {}
+    flows: Dict[str, FlowResult] = {}
     for label, router_cls in ROUTERS.items():
         design = mcnc_design(circuit, scale)
-        traces[label] = router_cls(config=config).route(design).trace
+        flows[label] = router_cls(config=config).route(design)
+    return flows
+
+
+def traces_of(flows: Dict[str, FlowResult]) -> Dict[str, RunTrace]:
+    """The ``label -> trace`` view of one circuit's flows."""
+    traces: Dict[str, RunTrace] = {}
+    for label, flow in flows.items():
+        assert flow.trace is not None
+        traces[label] = flow.trace
     return traces
+
+
+def audit_flows(circuit: str, flows: Dict[str, FlowResult]) -> List[str]:
+    """Independently audit every fresh solution; failure lines out.
+
+    Calls :func:`repro.analysis.audit_solution` directly on the
+    finished flows (rather than routing with ``audit=True``) so the
+    traces being diffed stay identical to the committed baselines,
+    which predate the audit span.
+    """
+    failures: List[str] = []
+    for label, flow in flows.items():
+        report = audit_solution(
+            flow.detailed_result, flow.report, flow.global_result
+        )
+        if report.ok:
+            print(
+                f"{circuit}/{label}: audit clean "
+                f"({report.nets_checked} nets)"
+            )
+        else:
+            print(render_audit(report))
+            failures.extend(
+                f"{circuit}/{label}: audit {f.rule} {f.message}"
+                for f in report.findings
+            )
+            failures.extend(
+                f"{circuit}/{label}: audit drift {d.counter}: "
+                f"reported {d.reported} != recomputed {d.recomputed}"
+                for d in report.drift
+            )
+    return failures
 
 
 def strip_parallel_counters(trace: RunTrace) -> RunTrace:
@@ -196,6 +258,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the freshly produced traces there (CI artifacts)",
     )
     parser.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="refresh the top-level BENCH_<circuit>.json perf snapshots "
+        "there (point at the repo root to update the committed "
+        "trajectory; CI uploads them as artifacts)",
+    )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the independent solution audit of the fresh runs",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -225,9 +299,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     failures: List[str] = []
     for circuit in circuits:
-        traces = run_circuit(circuit, args.workers)
+        flows = run_circuit(circuit, args.workers)
+        traces = traces_of(flows)
+        if not args.no_audit:
+            failures.extend(audit_flows(circuit, flows))
         if args.workers > 1:
-            serial = run_circuit(circuit)
+            serial = traces_of(run_circuit(circuit))
             speedups = {}
             for label, parallel_trace in traces.items():
                 s = serial[label].wall_seconds
@@ -254,6 +331,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 label: strip_parallel_counters(trace)
                 for label, trace in traces.items()
             }
+        if args.snapshot_dir:
+            out = pathlib.Path(args.snapshot_dir) / f"BENCH_{circuit}.json"
+            save_traces(out, traces)
+            print(f"wrote {out}")
         if args.out_dir:
             out = pathlib.Path(args.out_dir) / f"BENCH_{circuit}.json"
             save_traces(out, traces)

@@ -1,16 +1,28 @@
-"""Static and dynamic analysis for the determinism contract.
+"""Static and dynamic analysis for the correctness contracts.
 
-Three enforcement layers for the serial-equivalence guarantee of
-:mod:`repro.parallel` (see ``docs/static_analysis.md``):
+Four enforcement layers (see ``docs/static_analysis.md``):
 
 * :mod:`~repro.analysis.lint` — an AST-based determinism linter
-  (rules DET001–DET005, ``repro lint`` on the CLI);
+  (rules DET001–DET005, ``repro lint`` on the CLI) guarding the
+  serial-equivalence guarantee of :mod:`repro.parallel`;
 * :mod:`~repro.analysis.baseline` — committed grandfathering of
-  pre-existing findings;
+  pre-existing lint findings;
 * :mod:`~repro.analysis.sanitize` — a dynamic speculation-footprint
-  sanitizer (``RouterConfig(sanitize=True)`` / ``--sanitize``).
+  sanitizer (``RouterConfig(sanitize=True)`` / ``--sanitize``);
+* :mod:`~repro.analysis.audit` — an independent DRC-style solution
+  auditor (rules AUD001–AUD007, ``repro audit`` on the CLI /
+  ``RouterConfig(audit=True)``) that re-derives every stitching
+  constraint from the raw geometry and cross-checks the evaluator's
+  counters.
 """
 
+from .audit import (
+    AuditFinding,
+    AuditReport,
+    CounterDrift,
+    audit_solution,
+    render_audit,
+)
 from .baseline import (
     DEFAULT_BASELINE_NAME,
     Baseline,
@@ -23,8 +35,9 @@ from .lint import (
     lint_paths,
     lint_source,
     render_findings,
+    resolve_rule_filter,
 )
-from .rules import RULES, Rule
+from .rules import AUDIT_RULES, RULES, Rule
 from .sanitize import (
     SanitizedGraphSnapshot,
     SanitizedGridOverlay,
@@ -32,7 +45,11 @@ from .sanitize import (
 )
 
 __all__ = [
+    "AUDIT_RULES",
+    "AuditFinding",
+    "AuditReport",
     "Baseline",
+    "CounterDrift",
     "DEFAULT_BASELINE_NAME",
     "Finding",
     "LintReport",
@@ -41,9 +58,12 @@ __all__ = [
     "SanitizedGraphSnapshot",
     "SanitizedGridOverlay",
     "SanitizerViolation",
+    "audit_solution",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "render_audit",
     "render_findings",
+    "resolve_rule_filter",
     "save_baseline",
 ]

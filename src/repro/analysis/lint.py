@@ -25,6 +25,7 @@ import dataclasses
 import pathlib
 import re
 from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
 
 from .rules import ROUTING_PACKAGES, RULES, Rule
 
@@ -546,16 +547,45 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[pathlib.Path]:
             yield path
 
 
+def resolve_rule_filter(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> frozenset[str]:
+    """The active DET rule codes after ``--select`` / ``--ignore``.
+
+    ``select`` restricts the run to the listed codes (default: every
+    rule); ``ignore`` then removes codes.  Unknown codes raise
+    :class:`ValueError` naming the offenders.
+    """
+    known = frozenset(RULES)
+    requested = frozenset(select) if select is not None else known
+    ignored = frozenset(ignore) if ignore is not None else frozenset()
+    unknown = sorted((requested | ignored) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return requested - ignored
+
+
 def lint_paths(
     paths: Sequence[str],
     baseline_fingerprints: frozenset[tuple[str, str, str]] = frozenset(),
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
 ) -> LintReport:
     """Lint every Python file under ``paths``.
 
     Findings whose :attr:`~Finding.fingerprint` appears in
     ``baseline_fingerprints`` are grandfathered: reported separately and
-    excluded from the failure condition.
+    excluded from the failure condition.  ``select`` / ``ignore``
+    restrict the active rule set (see :func:`resolve_rule_filter`);
+    filtered-out findings are dropped entirely (not counted as
+    suppressed or grandfathered).
     """
+    active = resolve_rule_filter(select, ignore)
     findings: list[Finding] = []
     grandfathered: list[Finding] = []
     suppressed = 0
@@ -566,6 +596,8 @@ def lint_paths(
         kept, file_suppressed = _lint_source(source, str(file_path))
         suppressed += file_suppressed
         for finding in kept:
+            if finding.rule not in active:
+                continue
             if finding.fingerprint in baseline_fingerprints:
                 grandfathered.append(finding)
             else:

@@ -1,10 +1,20 @@
-"""The determinism rule catalog (DET001–DET005).
+"""The analysis rule catalogs (DET001–DET005 and AUD001–AUD007).
 
-Each rule states one convention the serial-equivalence contract of the
-parallel engine rests on (see ``docs/parallelism.md``): the routing
-result must be a pure function of the design and the config, byte-for-
-byte reproducible across processes, machines, and worker counts.  The
-linter in :mod:`~repro.analysis.lint` enforces the catalog statically;
+Two catalogs share the :class:`Rule` record:
+
+* the **DET** rules state the code-level conventions the serial-
+  equivalence contract of the parallel engine rests on (see
+  ``docs/parallelism.md``): the routing result must be a pure function
+  of the design and the config, byte-for-byte reproducible across
+  processes, machines, and worker counts.  The linter in
+  :mod:`~repro.analysis.lint` enforces them statically.
+* the **AUD** rules state the solution-level constraints a finished
+  routing must satisfy (the paper's Problem 1 plus basic routing
+  legality).  The independent auditor in
+  :mod:`~repro.analysis.audit` re-derives each one from the raw
+  geometry — DRC-style, sharing no counting code with the evaluator —
+  and cross-checks the router's self-reported numbers.
+
 ``docs/static_analysis.md`` discusses every rule with examples.
 """
 
@@ -113,7 +123,127 @@ DET005 = Rule(
     ),
 )
 
-#: All rules, keyed by code, in catalog order.
+#: All determinism rules, keyed by code, in catalog order.
 RULES: dict[str, Rule] = {
     r.code: r for r in (DET001, DET002, DET003, DET004, DET005)
+}
+
+
+AUD001 = Rule(
+    code="AUD001",
+    title="via on a stitching line",
+    rationale=(
+        "Problem 1 permits via violations only at fixed pins: a routed "
+        "via stack cut by a stitching line anywhere else is illegal, "
+        "and every via-on-line event must appear in the report's "
+        "attributed #VV count."
+    ),
+    fix_hint=(
+        "vias may sit on a line only at a fixed pin; check the grid's "
+        "hard via constraint and the evaluator's #VV accounting"
+    ),
+    routing_only=False,
+)
+
+AUD002 = Rule(
+    code="AUD002",
+    title="vertical wire running along a stitching line",
+    rationale=(
+        "The vertical routing constraint is hard for both routers: a "
+        "wire on a vertical layer may never occupy a stitching-line "
+        "track, so any such segment is a legality breach — the "
+        "vertical-violation column must be zero."
+    ),
+    fix_hint=(
+        "the detailed grid must block vertical-layer nodes on line "
+        "tracks structurally; check DetailedGrid.is_blocked"
+    ),
+    routing_only=False,
+)
+
+AUD003 = Rule(
+    code="AUD003",
+    title="short polygon site mismatch in the stitch unfriendly region",
+    rationale=(
+        "A horizontal wire cut by a line whose end lies within epsilon "
+        "of it with a landing via is a short polygon (Fig. 5c); the "
+        "report's attributed #SP entries must match the recomputed "
+        "sites exactly — an unreported or phantom site means the "
+        "evaluator and the geometry disagree."
+    ),
+    fix_hint=(
+        "compare the net's trimmed geometry against its reported "
+        "short-polygon attributions; check the epsilon window and the "
+        "landing-via condition"
+    ),
+    routing_only=False,
+)
+
+AUD004 = Rule(
+    code="AUD004",
+    title="routed net is not electrically connected",
+    rationale=(
+        "A net marked routed must connect all of its pins through one "
+        "component of wire edges; a stranded pin means the routability "
+        "column overstates the solution."
+    ),
+    fix_hint=(
+        "check the router's connectivity bookkeeping and the trimming "
+        "pass (trimming must never cut a pin from the tree)"
+    ),
+    routing_only=False,
+)
+
+AUD005 = Rule(
+    code="AUD005",
+    title="inter-net short (two nets share a grid node)",
+    rationale=(
+        "Each grid node may carry the metal of at most one net; a "
+        "shared node is an electrical short that no report column "
+        "counts, so only an independent check can catch it."
+    ),
+    fix_hint=(
+        "check the occupancy grid's owner bookkeeping, especially "
+        "rip-up releases and speculative overlay merges"
+    ),
+    routing_only=False,
+)
+
+AUD006 = Rule(
+    code="AUD006",
+    title="wire against the layer's preferred direction",
+    rationale=(
+        "Horizontal layers route in x and vertical layers in y "
+        "(Section II); a wrong-way unit edge, a via spanning "
+        "non-adjacent layers, or an off-die node means the solution "
+        "left the legal grid."
+    ),
+    fix_hint=(
+        "check DetailedGrid.neighbors (planar moves must follow the "
+        "preferred direction) and the trunk materialization"
+    ),
+    routing_only=False,
+)
+
+AUD007 = Rule(
+    code="AUD007",
+    title="global-routing capacity accounting drift",
+    rationale=(
+        "The global graph's edge and vertex (line-end) demand arrays "
+        "drive every congestion decision; if they differ from the "
+        "demand recomputed from the final routes, place/unplace "
+        "bookkeeping has leaked and negotiation was steered by stale "
+        "numbers."
+    ),
+    fix_hint=(
+        "check that every _place_path has a matching _unplace_path "
+        "(rip-up, failed subnets, speculative merges)"
+    ),
+    routing_only=False,
+)
+
+#: All solution-audit rules, keyed by code, in catalog order.
+AUDIT_RULES: dict[str, Rule] = {
+    r.code: r
+    for r in (AUD001, AUD002, AUD003, AUD004, AUD005, AUD006, AUD007)
 }

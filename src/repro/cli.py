@@ -14,6 +14,12 @@ Commands:
 * ``lint`` — run the determinism linter (rules DET001–DET005, see
   ``docs/static_analysis.md``) over source paths; exits nonzero on
   findings not grandfathered by the committed baseline.
+  ``--select`` / ``--ignore`` restrict the active rule set.
+* ``audit`` — route one circuit and run the independent solution
+  auditor (rules AUD001–AUD007) over the result: every stitching
+  constraint is re-derived from the raw geometry and the report's
+  counters are cross-checked; exits 1 on any finding or counter
+  drift.
 * ``circuits`` — list the available benchmark circuits.
 
 ``route``, ``compare``, and ``diag`` accept ``--sanitize`` to route
@@ -251,6 +257,13 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rule_codes(raw: Optional[str]) -> Optional[list[str]]:
+    """Parse a comma-separated ``--select`` / ``--ignore`` value."""
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported here: the linter pulls in the analysis package, which
     # routing commands never need.
@@ -263,16 +276,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     paths = args.paths or ["src"]
+    select = _rule_codes(args.select)
+    ignore = _rule_codes(args.ignore)
     baseline_path = pathlib.Path(args.baseline or DEFAULT_BASELINE_NAME)
-    if args.update_baseline:
-        report = lint_paths(paths)
-        count = save_baseline(baseline_path, report.findings)
-        print(f"wrote {baseline_path} ({count} grandfathered finding(s))")
-        return 0
-    fingerprints: frozenset = frozenset()
-    if baseline_path.exists():
-        fingerprints = Baseline.load(baseline_path).fingerprints
-    report = lint_paths(paths, baseline_fingerprints=fingerprints)
+    try:
+        if args.update_baseline:
+            report = lint_paths(paths, select=select, ignore=ignore)
+            count = save_baseline(baseline_path, report.findings)
+            print(
+                f"wrote {baseline_path} ({count} grandfathered finding(s))"
+            )
+            return 0
+        fingerprints: frozenset = frozenset()
+        if baseline_path.exists():
+            fingerprints = Baseline.load(baseline_path).fingerprints
+        report = lint_paths(
+            paths,
+            baseline_fingerprints=fingerprints,
+            select=select,
+            ignore=ignore,
+        )
+    except ValueError as error:  # unknown rule codes -> usage error
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
     if args.format == "json":
         document = {
             "findings": [f.to_dict() for f in report.findings],
@@ -285,6 +311,35 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_findings(report))
     return 0 if report.ok else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    # Imported here like the linter: analysis is a consumer layer the
+    # plain routing commands never need.
+    from .analysis import render_audit
+
+    design = _get_design(args.circuit, args.scale)
+    config = RouterConfig(
+        workers=args.workers,
+        sanitize=getattr(args, "sanitize", False),
+        audit=True,
+    )
+    router = (
+        BaselineRouter(config=config)
+        if args.baseline
+        else StitchAwareRouter(config=config)
+    )
+    flow = router.route(design, tracer=_make_tracer(args))
+    audit = flow.audit
+    assert audit is not None  # guaranteed by config.audit=True
+    if args.format == "json":
+        print(json.dumps(audit.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_audit(audit))
+    if args.report:
+        save_report(flow.report, args.report)
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 0 if audit.ok else 1
 
 
 def _cmd_trace_top(args: argparse.Namespace) -> int:
@@ -400,7 +455,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rewrite the baseline file from the current findings",
     )
+    lint.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated DET codes to check (default: all rules)",
+    )
+    lint.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated DET codes to skip",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    audit = sub.add_parser(
+        "audit",
+        help="route one circuit and independently verify the solution "
+        "(AUD rules, docs/static_analysis.md)",
+    )
+    audit.add_argument("circuit")
+    audit.add_argument("--scale", type=float, default=0.05)
+    audit.add_argument("--baseline", action="store_true")
+    _workers_flag(audit)
+    audit.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    audit.add_argument(
+        "--report", help="also write the JSON violation report"
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     trace = sub.add_parser("trace", help="inspect saved trace JSONs")
     tsub = trace.add_subparsers(dest="trace_command", required=True)

@@ -72,6 +72,15 @@ class RouterConfig:
             ``docs/static_analysis.md``).  Adds overhead; only
             meaningful with ``workers > 1`` (serial routing does not
             speculate).
+        audit: run the independent solution auditor
+            (:func:`repro.analysis.audit_solution`) on the final
+            result and attach its :class:`~repro.analysis.AuditReport`
+            to the flow result (``FlowResult.audit``), with
+            ``audit_*`` counters in the trace.  The audit re-derives
+            every stitching constraint with its own geometry code and
+            cross-checks the report's counters; it observes and
+            reports but never alters the routing (see
+            ``docs/static_analysis.md``).
 
     Stage-policy attributes (consumed by the router constructors; the
     ablation switches of Tables IV and VIII):
@@ -99,6 +108,7 @@ class RouterConfig:
     detail_expansion_limit: int = 200_000
     workers: int = 1
     sanitize: bool = False
+    audit: bool = False
     track_method: TrackMethod = TrackMethod.GRAPH
     coloring: ColoringMethod = ColoringMethod.FLOW
     stitch_aware_global: bool = True
@@ -134,6 +144,8 @@ class RouterConfig:
             raise ValueError(f"workers must be at least 1, got {self.workers}")
         if not isinstance(self.sanitize, bool):
             raise ValueError(f"sanitize must be a bool, got {self.sanitize!r}")
+        if not isinstance(self.audit, bool):
+            raise ValueError(f"audit must be a bool, got {self.audit!r}")
 
 
 DEFAULT_CONFIG = RouterConfig()

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import time
 import warnings
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..assign import (
     DesignTrackAssignment,
@@ -42,6 +42,9 @@ from ..globalroute import GlobalGraph, GlobalRouter, GlobalRoutingResult
 from ..layout import Design
 from ..multilevel import MultilevelScheme, TwoPassFramework
 from ..observe import RunTrace, Tracer, ensure
+
+if TYPE_CHECKING:  # runtime import stays lazy (analysis is optional here)
+    from ..analysis import AuditReport
 
 #: Positional-argument order of the pre-``RouterConfig`` constructor,
 #: kept for the deprecated compatibility path.
@@ -66,6 +69,9 @@ class FlowResult:
     cpu_seconds: float
     #: Per-stage observability trace of this run.
     trace: Optional[RunTrace] = None
+    #: Independent solution audit (:mod:`repro.analysis.audit`);
+    #: attached only when the flow ran with ``config.audit=True``.
+    audit: Optional["AuditReport"] = None
 
 
 class StitchAwareRouter:
@@ -209,19 +215,37 @@ class StitchAwareRouter:
 
         layers, tracks = outcome.assign_result
         report = evaluate(outcome.detail_result)
+        audit_report: Optional[AuditReport] = None
+        if config.audit:
+            # Lazy import: the analysis package is a consumer of the
+            # routing packages, so core must not import it eagerly.
+            from ..analysis import audit_solution
+
+            with tracer.span("audit") as span:
+                audit_report = audit_solution(
+                    outcome.detail_result, report, outcome.global_result
+                )
+                span.count("audit_nets_checked", audit_report.nets_checked)
+                span.count("audit_findings", len(audit_report.findings))
+                span.count("audit_drift", len(audit_report.drift))
         elapsed = time.perf_counter() - start
         report.cpu_seconds = elapsed
+        meta = {
+            "track_method": config.track_method.value,
+            "coloring": config.coloring.value,
+            "stitch_aware_global": config.stitch_aware_global,
+            "stitch_aware_detail": config.stitch_aware_detail,
+            "workers": config.workers,
+            "sanitize": config.sanitize,
+        }
+        if config.audit:
+            # Only stamped when enabled so default-config traces stay
+            # byte-compatible with the committed baselines.
+            meta["audit"] = True
         trace = tracer.finish(
             router=type(self).__name__,
             design=design.name,
-            meta={
-                "track_method": config.track_method.value,
-                "coloring": config.coloring.value,
-                "stitch_aware_global": config.stitch_aware_global,
-                "stitch_aware_detail": config.stitch_aware_detail,
-                "workers": config.workers,
-                "sanitize": config.sanitize,
-            },
+            meta=meta,
         )
         report.trace = trace
         return FlowResult(
@@ -233,6 +257,7 @@ class StitchAwareRouter:
             report=report,
             cpu_seconds=elapsed,
             trace=trace,
+            audit=audit_report,
         )
 
 

@@ -23,6 +23,13 @@ the attributions up per line, which is how the paper's per-feature
 evaluation (and detailed routers such as TRIAD / Mr.TPL) report
 conflict breakdowns; the aggregate #VV/#SP/vertical columns are by
 construction the histogram's totals.
+
+This module is the router's *self*-evaluation: the router optimizes
+against these very counts.  :mod:`repro.analysis.audit` is the
+independent cross-check — it re-derives every quantity here with its
+own geometry code and fails hard on any disagreement (``repro audit``
+/ ``RouterConfig(audit=True)``), so a bookkeeping bug in this file
+cannot silently skew the reported tables.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ recording layer (:mod:`~repro.observe.tracer`) sit the consumers:
 :mod:`~repro.observe.analytics` rolls traces up, diffs them against
 baselines and extracts hotspots, and :mod:`~repro.observe.log` mirrors
 trace events into stdlib logging for live progress.
+
+Flows run with ``RouterConfig(audit=True)`` add an ``audit`` span
+whose ``audit_nets_checked`` / ``audit_findings`` / ``audit_drift``
+counters summarize the independent solution audit
+(:mod:`repro.analysis.audit`); default-config traces are unchanged.
 """
 
 from .analytics import (

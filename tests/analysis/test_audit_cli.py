@@ -1,0 +1,118 @@
+"""The ``repro audit`` CLI: exit codes, formats, failure reporting."""
+
+import dataclasses
+import json
+import types
+
+import pytest
+
+from repro.analysis import audit_solution
+from repro.benchmarks_gen import mcnc_design
+from repro.cli import build_parser, main
+from repro.core import StitchAwareRouter
+
+
+class TestParser:
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit", "S9234"])
+        assert args.circuit == "S9234"
+        assert args.scale == 0.05
+        assert args.format == "text"
+        assert args.workers == 1
+        assert not args.baseline
+
+    def test_audit_accepts_workers_and_json(self):
+        args = build_parser().parse_args(
+            ["audit", "S9234", "--workers", "4", "--format", "json"]
+        )
+        assert args.workers == 4
+        assert args.format == "json"
+
+
+class TestCleanRuns:
+    def test_exit_zero_and_text_verdict(self, capsys):
+        assert main(["audit", "S9234", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "S9234" in out
+
+    def test_json_document_shape(self, capsys):
+        code = main(
+            ["audit", "S9234", "--scale", "0.02", "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["design"] == "S9234"
+        assert doc["findings"] == [] and doc["drift"] == []
+        assert doc["rules_checked"][0] == "AUD001"
+
+    def test_baseline_router_and_report_file(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "audit",
+                "S9234",
+                "--scale",
+                "0.02",
+                "--baseline",
+                "--report",
+                str(report),
+            ]
+        )
+        assert code == 0
+        assert report.exists()
+
+
+def _failing_flow():
+    """A real flow whose audit report genuinely fails.
+
+    Routes a tiny circuit, corrupts the final geometry (deletes one
+    net's wires while leaving it marked routed), and re-audits.
+    """
+    flow = StitchAwareRouter().route(mcnc_design("S9234", 0.02))
+    name = sorted(flow.detailed_result.nets)[0]
+    nets = dict(flow.detailed_result.nets)
+    nets[name] = dataclasses.replace(nets[name], edges=set())
+    corrupted = dataclasses.replace(flow.detailed_result, nets=nets)
+    audit = audit_solution(corrupted, flow.report, flow.global_result)
+    assert not audit.ok
+    return flow, audit
+
+
+class TestFailingRuns:
+    @pytest.fixture()
+    def rigged(self, monkeypatch):
+        """Point the CLI at a router whose flow carries a failing audit."""
+        flow, audit = _failing_flow()
+        rigged_flow = types.SimpleNamespace(
+            report=flow.report, audit=audit, trace=flow.trace
+        )
+
+        class RiggedRouter:
+            def __init__(self, *, config=None):
+                self.config = config
+
+            def route(self, design, *, tracer=None):
+                return rigged_flow
+
+        monkeypatch.setattr("repro.cli.StitchAwareRouter", RiggedRouter)
+        return audit
+
+    def test_exit_one_with_attribution(self, rigged, capsys):
+        assert main(["audit", "S9234", "--scale", "0.02"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        first = rigged.findings[0]
+        assert first.rule in out
+        assert f"net={first.net}" in out
+
+    def test_json_failure_document(self, rigged, capsys):
+        code = main(
+            ["audit", "S9234", "--scale", "0.02", "--format", "json"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["findings"]
+        assert doc["findings"][0]["rule"] == rigged.findings[0].rule
+        assert doc["findings"][0]["net"] == rigged.findings[0].net

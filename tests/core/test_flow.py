@@ -3,6 +3,7 @@
 import pytest
 
 from repro.benchmarks_gen import SyntheticSpec, generate_design
+from repro.config import RouterConfig
 from repro.core import BaselineRouter, FlowResult, StitchAwareRouter
 from repro.assign import ColoringMethod, TrackMethod
 
@@ -107,3 +108,46 @@ class TestBaselineSpecifics:
     def test_baseline_has_zero_bad_end_avoidance(self, baseline_result):
         """Baseline reports bad ends but never dodges them."""
         assert baseline_result.track_assignment.num_bad_ends >= 0
+
+
+class TestAuditIntegration:
+    @pytest.fixture(scope="class")
+    def audited(self, design):
+        return StitchAwareRouter(config=RouterConfig(audit=True)).route(
+            design
+        )
+
+    def test_default_flow_has_no_audit(self, aware_result):
+        assert aware_result.audit is None
+        assert "audit" not in [s.name for s in aware_result.trace.spans]
+
+    def test_audit_true_attaches_clean_report(self, audited):
+        audit = audited.audit
+        assert audit is not None
+        assert audit.ok
+        assert audit.findings == [] and audit.drift == []
+        assert audit.nets_checked == audited.report.total_nets
+
+    def test_audit_span_carries_counters(self, audited):
+        names = [s.name for s in audited.trace.spans]
+        span = audited.trace.spans[names.index("audit")]
+        assert span.counters["audit_nets_checked"] == (
+            audited.audit.nets_checked
+        )
+        assert span.counters["audit_findings"] == 0
+        assert span.counters["audit_drift"] == 0
+
+    def test_audit_flag_stamped_in_trace_meta(self, audited, aware_result):
+        assert audited.trace.meta.get("audit") is True
+        assert "audit" not in aware_result.trace.meta
+
+    def test_audited_routing_identical_to_default(
+        self, audited, aware_result
+    ):
+        """The auditor observes; it must never change the solution."""
+        assert audited.report.wirelength == aware_result.report.wirelength
+        assert audited.report.vias == aware_result.report.vias
+        assert (
+            audited.report.via_violations
+            == aware_result.report.via_violations
+        )

@@ -1,0 +1,131 @@
+"""``Violation`` serialization and histogram/column consistency."""
+
+import pytest
+
+from repro.eval import (
+    NetReport,
+    RoutingReport,
+    VIOLATION_KINDS,
+    Violation,
+)
+
+
+class TestViolationSerde:
+    @pytest.mark.parametrize("kind", VIOLATION_KINDS)
+    def test_round_trip(self, kind):
+        violation = Violation(
+            net="n7", kind=kind, line=2, x=30, y=11, layer=1
+        )
+        data = violation.to_dict()
+        assert Violation.from_dict("n7", data) == violation
+
+    def test_to_dict_omits_net(self):
+        data = Violation("n7", "via", 0, 15, 5, 0).to_dict()
+        assert "net" not in data
+        assert data == {"kind": "via", "line": 0, "x": 15, "y": 5, "layer": 0}
+
+    def test_from_dict_attaches_given_net(self):
+        data = {"kind": "vertical", "line": 1, "x": 30, "y": 4, "layer": 2}
+        assert Violation.from_dict("other", data).net == "other"
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        violation = Violation("n1", "short-polygon", 3, 45, 9, 1)
+        data = json.loads(json.dumps(violation.to_dict()))
+        assert Violation.from_dict("n1", data) == violation
+
+
+def _net(name, routed, violations, wl=10, vias=2):
+    """Hand-built NetReport whose count columns match its violations."""
+    by_kind = {kind: 0 for kind in VIOLATION_KINDS}
+    for violation in violations:
+        by_kind[violation.kind] += 1
+    return NetReport(
+        name=name,
+        routed=routed,
+        via_violations=by_kind["via"],
+        vertical_violations=by_kind["vertical"],
+        short_polygons=by_kind["short-polygon"],
+        wirelength=wl,
+        vias=vias,
+        violations=violations,
+    )
+
+
+@pytest.fixture()
+def report():
+    """Two routed nets + one unrouted net with an SP attribution.
+
+    The unrouted net's short polygon must be excluded from both the
+    #SP column and the histogram (column semantics of the paper).
+    """
+    a = _net(
+        "a",
+        True,
+        [
+            Violation("a", "via", 0, 15, 5, 0),
+            Violation("a", "via", 1, 30, 8, 1),
+            Violation("a", "short-polygon", 0, 15, 5, 1),
+        ],
+    )
+    b = _net(
+        "b",
+        True,
+        [
+            Violation("b", "vertical", 1, 30, 2, 2),
+            Violation("b", "short-polygon", 1, 30, 6, 1),
+        ],
+    )
+    c = _net("c", False, [Violation("c", "short-polygon", 0, 15, 1, 1)])
+    nets = {n.name: n for n in (a, b, c)}
+    return RoutingReport(
+        design_name="hand",
+        total_nets=3,
+        routed_nets=2,
+        via_violations=sum(n.via_violations for n in nets.values()),
+        vertical_violations=sum(
+            n.vertical_violations for n in nets.values()
+        ),
+        short_polygons=sum(
+            n.short_polygons for n in nets.values() if n.routed
+        ),
+        wirelength=30,
+        vias=6,
+        cpu_seconds=0.0,
+        nets=nets,
+    )
+
+
+class TestHistogramTotals:
+    def test_totals_match_aggregate_columns(self, report):
+        histogram = report.stitch_line_histogram()
+
+        def total(kind):
+            return sum(row[kind] for row in histogram.values())
+
+        assert total("via") == report.via_violations == 2
+        assert total("vertical") == report.vertical_violations == 1
+        assert total("short-polygon") == report.short_polygons == 2
+
+    def test_unrouted_sp_excluded_everywhere(self, report):
+        histogram = report.stitch_line_histogram()
+        # Line 0 carries net a's SP only; net c's is filtered out.
+        assert histogram[0]["short-polygon"] == 1
+        kinds = [v.kind for v in report.violations if v.net == "c"]
+        assert kinds == []
+
+    def test_rows_cover_every_kind_with_zeros(self, report):
+        for row in report.stitch_line_histogram().values():
+            assert set(row) == set(VIOLATION_KINDS)
+
+    def test_lines_sorted_and_only_violating_lines_present(self, report):
+        assert list(report.stitch_line_histogram()) == [0, 1]
+
+    def test_violations_property_matches_per_kind_fields(self, report):
+        by_kind = {kind: 0 for kind in VIOLATION_KINDS}
+        for violation in report.violations:
+            by_kind[violation.kind] += 1
+        assert by_kind["via"] == report.via_violations
+        assert by_kind["vertical"] == report.vertical_violations
+        assert by_kind["short-polygon"] == report.short_polygons

@@ -90,3 +90,18 @@ class TestWorkersValidation:
             RouterConfig(workers=True)
         with pytest.raises(ValueError):
             RouterConfig(workers="4")
+
+
+class TestAuditFlag:
+    def test_default_is_off(self):
+        assert DEFAULT_CONFIG.audit is False
+
+    def test_accepts_bools(self):
+        assert RouterConfig(audit=True).audit is True
+        assert RouterConfig(audit=False).audit is False
+
+    def test_rejects_non_bools(self):
+        with pytest.raises(ValueError):
+            RouterConfig(audit=1)
+        with pytest.raises(ValueError):
+            RouterConfig(audit="yes")
