@@ -17,7 +17,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
 
 from repro.benchmarks_gen import mcnc_design
 from repro.config import RouterConfig
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.layout import Design
 from repro.reporting import format_table
 

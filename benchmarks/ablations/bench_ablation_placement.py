@@ -13,7 +13,7 @@ import pathlib
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
 
 from repro.benchmarks_gen import mcnc_design
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.place import refine_pin_placement
 from repro.reporting import format_table
 

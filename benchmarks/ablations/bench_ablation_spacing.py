@@ -13,7 +13,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
 
 from repro.benchmarks_gen import MCNC_SPECS, generate_design
 from repro.config import RouterConfig
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.reporting import format_table
 
 from common import mcnc_scale, save_result

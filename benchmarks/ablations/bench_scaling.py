@@ -12,7 +12,7 @@ import pathlib
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
 
 from repro.benchmarks_gen import mcnc_design
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.reporting import format_table
 
 from common import save_result

@@ -8,7 +8,7 @@ lines dashed, pins and vias drawn).
 import pathlib
 
 from repro.benchmarks_gen import mcnc_design
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.viz import render_routing_svg
 
 from common import RESULTS_DIR, mcnc_scale, save_result

@@ -7,7 +7,7 @@ contain no short polygon inside the same window.
 """
 
 from repro.benchmarks_gen import mcnc_design
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.detailed.wiring import short_polygon_sites, trim_dangling
 from repro.geometry import Rect
 from repro.viz import render_layer_ascii, render_routing_svg

@@ -8,7 +8,7 @@ baseline with a small routability gain and ~10% runtime overhead.
 
 from typing import Dict, Optional
 
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.observe import RunTrace
 from repro.reporting import comparison_row, format_table
 

@@ -21,7 +21,7 @@ import time
 
 from repro.assign import TrackMethod, assign_layers, assign_tracks, extract_panels
 from repro.config import RouterConfig
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.globalroute import GlobalRouter
 from repro.reporting import format_table
 

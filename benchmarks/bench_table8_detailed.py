@@ -9,7 +9,7 @@ polygons at <=0.2% routability cost.
 """
 
 from repro.config import RouterConfig
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.reporting import format_table
 
 from common import full_suite, save_result

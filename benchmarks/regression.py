@@ -25,7 +25,20 @@ Exit status is non-zero on any regression, so CI can gate on it::
     PYTHONPATH=src python benchmarks/regression.py --no-wall       # counters only
     PYTHONPATH=src python benchmarks/regression.py --update        # refresh baselines
     PYTHONPATH=src python benchmarks/regression.py --workers 4     # parallel gate
+    PYTHONPATH=src python benchmarks/regression.py --engine array  # array-core gate
+    PYTHONPATH=src python benchmarks/regression.py --scale 10 --out-dir .  # engine speedup
     PYTHONPATH=src python benchmarks/regression.py --snapshot-dir .  # refresh BENCH_*.json
+
+``--engine array`` runs the whole gate on the numpy array core
+(:mod:`repro.engine`) and diffs against the *same committed
+baselines* — the engines' byte-identity contract means no counter may
+move.  ``--scale MULT`` instead routes every circuit at ``MULT x`` its
+gate scale with *both* engines, requires identical counters,
+cross-checks both solutions under the independent audit, and records
+the object/array wall-clock speedup — the minimum over ``--repeat N``
+interleaved runs (``SPEEDUP_ENGINE_<circuit>.json`` with
+``--out-dir``; the committed copies back the speedup claims in
+``docs/performance.md``).
 
 ``--workers N`` routes with the parallel net-batch engine and diffs
 the result against the *same serial baselines*: the engine's
@@ -60,7 +73,7 @@ from typing import Dict, List, Optional
 from repro.analysis import audit_solution, render_audit
 from repro.benchmarks_gen import mcnc_design
 from repro.config import RouterConfig
-from repro.core import BaselineRouter, FlowResult, StitchAwareRouter
+from repro.api import BaselineRouter, FlowResult, StitchAwareRouter
 from repro.observe import (
     DiffThresholds,
     RunTrace,
@@ -90,7 +103,9 @@ def baseline_path(circuit: str) -> pathlib.Path:
     return BASELINE_DIR / f"BENCH_{circuit}.json"
 
 
-def run_circuit(circuit: str, workers: int = 1) -> Dict[str, FlowResult]:
+def run_circuit(
+    circuit: str, workers: int = 1, engine: str = "object"
+) -> Dict[str, FlowResult]:
     """Route one gate circuit with every router; flows keyed by label.
 
     Returns the full :class:`~repro.core.FlowResult` (not just the
@@ -98,12 +113,127 @@ def run_circuit(circuit: str, workers: int = 1) -> Dict[str, FlowResult]:
     audit the solutions.
     """
     scale = CIRCUITS[circuit]
-    config = RouterConfig(workers=workers)
+    config = RouterConfig(workers=workers, engine=engine)
     flows: Dict[str, FlowResult] = {}
     for label, router_cls in ROUTERS.items():
         design = mcnc_design(circuit, scale)
         flows[label] = router_cls(config=config).route(design)
     return flows
+
+
+def engine_speedup(
+    circuit: str,
+    scale_multiplier: float,
+    out_dir: Optional[str],
+    repeat: int = 1,
+) -> List[str]:
+    """Object-vs-array differential + speedup run at a scaled workload.
+
+    Routes the circuit at ``gate scale x multiplier`` with both
+    engines (stitch-aware flow, serial), asserts their traces carry
+    **identical deterministic counters** (the byte-identity contract),
+    cross-checks both solutions under the independent audit (oversized
+    instances may carry genuine findings — but only the *same* ones
+    from both engines), and reports the wall-clock speedup, the
+    minimum over ``repeat`` interleaved runs per engine.  With
+    ``out_dir`` set, writes ``SPEEDUP_ENGINE_<circuit>.json``
+    recording per-engine walls — the committed artifacts behind
+    ``docs/performance.md``.
+    """
+    scale = CIRCUITS[circuit] * scale_multiplier
+    failures: List[str] = []
+    flows: Dict[str, FlowResult] = {}
+    walls: Dict[str, List[float]] = {"object": [], "array": []}
+    # Repeats interleave the engines (fairer under drifting machine
+    # load) and the recorded wall is the minimum — the standard
+    # benchmarking estimator for "how fast can this code run".
+    # Counters must agree across every run, engines and repeats alike.
+    for run in range(max(1, repeat)):
+        for engine in ("object", "array"):
+            design = mcnc_design(circuit, scale)
+            config = RouterConfig(engine=engine)
+            flow = StitchAwareRouter(config=config).route(design)
+            assert flow.trace is not None
+            walls[engine].append(flow.trace.wall_seconds)
+            if run == 0:
+                flows[engine] = flow
+            else:
+                rediff = diff_traces(
+                    flows[engine].trace,
+                    flow.trace,
+                    DiffThresholds(include_wall=False),
+                )
+                if not rediff.ok:
+                    failures.extend(
+                        f"{circuit}@{scale:g}: {engine} repeat {run} "
+                        f"nondeterminism {line}"
+                        for line in rediff.regressions()
+                    )
+
+    obj_trace, arr_trace = flows["object"].trace, flows["array"].trace
+    assert obj_trace is not None and arr_trace is not None
+    diff = diff_traces(
+        obj_trace, arr_trace, DiffThresholds(include_wall=False)
+    )
+    if diff.ok:
+        print(f"{circuit}@{scale:g}: engines agree on every counter")
+    else:
+        print(render_diff(diff))
+        failures.extend(
+            f"{circuit}@{scale:g}: engine divergence {line}"
+            for line in diff.regressions()
+        )
+    # The audit serves as an engine cross-check here: oversized
+    # instances may carry genuine findings (they are well past the
+    # paper's congestion envelope), but both engines must produce the
+    # *same* findings — a clean array run over a dirty object run (or
+    # vice versa) would mean the engines routed different solutions.
+    audits = {}
+    for engine, flow in flows.items():
+        report = audit_solution(
+            flow.detailed_result, flow.report, flow.global_result
+        )
+        audits[engine] = sorted(
+            (f.rule, f.net or "", f.message) for f in report.findings
+        ) + sorted((d.counter, d.reported, d.recomputed) for d in report.drift)
+        status = (
+            "clean" if report.ok else f"{len(report.findings)} finding(s)"
+        )
+        print(f"{circuit}@{scale:g}: {engine} audit {status}")
+    if audits["object"] != audits["array"]:
+        failures.append(
+            f"{circuit}@{scale:g}: engines disagree under audit "
+            f"(object {len(audits['object'])} vs "
+            f"array {len(audits['array'])} findings)"
+        )
+
+    s, a = min(walls["object"]), min(walls["array"])
+    ratio = s / a if a > 0 else 0.0
+    print(
+        f"{circuit}@{scale:g}: object {s:.3f}s, array {a:.3f}s, "
+        f"speedup x{ratio:.2f} (min of {len(walls['object'])} run(s))"
+    )
+    if out_dir:
+        out = pathlib.Path(out_dir) / f"SPEEDUP_ENGINE_{circuit}.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(
+                {
+                    "circuit": circuit,
+                    "scale": scale,
+                    "scale_multiplier": scale_multiplier,
+                    "object_wall_seconds": round(s, 4),
+                    "array_wall_seconds": round(a, 4),
+                    "repeats": len(walls["object"]),
+                    "speedup": round(ratio, 3),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {out}")
+    return failures
 
 
 def traces_of(flows: Dict[str, FlowResult]) -> Dict[str, RunTrace]:
@@ -279,11 +409,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         "are stripped; everything else must match exactly).  Also runs "
         "serially and reports the wall-clock speedup per circuit.",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default="object",
+        help="routing engine for the gate runs (default: object, the "
+        "reference the baselines were recorded with; array must "
+        "reproduce the same counters — that equality is the point "
+        "of running the gate with both)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        metavar="MULT",
+        help="switch to the engine-speedup mode: route each circuit at "
+        "MULT x its gate scale with BOTH engines, require identical "
+        "deterministic counters, audit the array solutions, and "
+        "report object/array wall-clock speedups (baseline diffing "
+        "is skipped — the committed baselines are 1x).  With "
+        "--out-dir, writes SPEEDUP_ENGINE_<circuit>.json artifacts.",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --scale: route each engine N times (interleaved) and "
+        "record the minimum wall per engine; counters must agree "
+        "across every run",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
     if args.update and args.workers > 1:
         parser.error("baselines are serial; refusing --update with --workers")
+    if args.scale is not None and args.scale <= 0:
+        parser.error("--scale must be positive")
+    if args.repeat < 1:
+        parser.error("--repeat must be at least 1")
 
     circuits = args.only or list(CIRCUITS)
     unknown = [c for c in circuits if c not in CIRCUITS]
@@ -298,13 +461,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     failures: List[str] = []
+    if args.scale is not None:
+        for circuit in circuits:
+            failures.extend(
+                engine_speedup(
+                    circuit, args.scale, args.out_dir, args.repeat
+                )
+            )
+        if failures:
+            print(f"\nengine speedup run FAILED ({len(failures)}):")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("\nengine speedup run passed")
+        return 0
+
     for circuit in circuits:
-        flows = run_circuit(circuit, args.workers)
+        flows = run_circuit(circuit, args.workers, args.engine)
         traces = traces_of(flows)
         if not args.no_audit:
             failures.extend(audit_flows(circuit, flows))
         if args.workers > 1:
-            serial = traces_of(run_circuit(circuit))
+            serial = traces_of(run_circuit(circuit, engine=args.engine))
             speedups = {}
             for label, parallel_trace in traces.items():
                 s = serial[label].wall_seconds
@@ -314,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "serial_wall_seconds": round(s, 4),
                     "parallel_wall_seconds": round(p, 4),
                     "workers": args.workers,
+                    "engine": args.engine,
                     "speedup": round(ratio, 3),
                 }
                 print(

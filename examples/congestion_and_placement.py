@@ -10,7 +10,7 @@ Run:  python examples/congestion_and_placement.py
 
 import _bootstrap  # noqa: F401  (repo-local import path setup)
 
-from repro import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.benchmarks_gen import mcnc_stress_design
 from repro.eval import (
     detailed_layer_utilization,

@@ -10,7 +10,7 @@ Run:  python examples/dogleg_closeup.py
 
 import _bootstrap  # noqa: F401  (repo-local import path setup)
 
-from repro import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.benchmarks_gen import mcnc_design
 from repro.detailed.wiring import short_polygon_sites, trim_dangling
 from repro.geometry import Rect

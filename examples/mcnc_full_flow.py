@@ -13,7 +13,7 @@ import _bootstrap  # noqa: F401  (repo-local import path setup)
 import sys
 import time
 
-from repro import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.benchmarks_gen import mcnc_design
 from repro.reporting import format_table
 from repro.viz import render_routing_svg

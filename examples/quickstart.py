@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 
 import _bootstrap  # noqa: F401  (repo-local import path setup)
 
-from repro import BaselineRouter, RouterConfig, StitchAwareRouter
+from repro.api import BaselineRouter, RouterConfig, StitchAwareRouter
 from repro.geometry import Point, Rect
 from repro.layout import Design, Net, Netlist, Pin, Technology
 from repro.viz import render_layer_ascii

@@ -11,7 +11,7 @@ Run:  python examples/raster_roundtrip.py
 
 import _bootstrap  # noqa: F401  (repo-local import path setup)
 
-from repro import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.benchmarks_gen import mcnc_design
 from repro.geometry import Rect
 from repro.raster import rasterize_window, save_pgm, score_short_polygons

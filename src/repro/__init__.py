@@ -27,7 +27,7 @@ from .config import (
     TrackMethod,
     benchmark_scale,
 )
-from .core import BaselineRouter, FlowResult, StitchAwareRouter
+from .core.flow import BaselineRouter, FlowResult, StitchAwareRouter
 from .observe import RunTrace, Span, Tracer
 
 __version__ = "1.0.0"

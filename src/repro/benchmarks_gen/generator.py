@@ -103,12 +103,17 @@ def generate_design(
         spec: published circuit statistics.
         scale: fraction of the full-size net count to generate; die
             area shrinks proportionally so density is preserved.
+            Factors above 1 (up to 100) *grow* the instance past the
+            published statistics — density is still preserved, so
+            oversized instances stress the routers without changing
+            congestion character (used by engine-speedup benchmarks;
+            see ``docs/performance.md``).
         config: framework parameters (stitch spacing etc.).
         seed: RNG seed; defaults to a hash of the circuit name so each
             circuit is deterministic yet distinct.
     """
-    if not 0.0 < scale <= 1.0:
-        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    if not 0.0 < scale <= 100.0:
+        raise ValueError(f"scale must be in (0, 100], got {scale}")
     config = config or RouterConfig()
     rng = random.Random(seed if seed is not None else _name_seed(spec.name))
 

@@ -44,7 +44,7 @@ from .benchmarks_gen import (
     mcnc_design,
 )
 from .config import RouterConfig
-from .core import BaselineRouter, StitchAwareRouter
+from .api import BaselineRouter, StitchAwareRouter
 from .eval import RoutingReport
 from .io import save_design, save_report
 from .observe import (
@@ -103,6 +103,7 @@ def _run_config(args: argparse.Namespace) -> RouterConfig:
     return RouterConfig(
         workers=args.workers,
         sanitize=getattr(args, "sanitize", False),
+        engine=getattr(args, "engine", "auto"),
     )
 
 
@@ -322,6 +323,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     config = RouterConfig(
         workers=args.workers,
         sanitize=getattr(args, "sanitize", False),
+        engine=getattr(args, "engine", "auto"),
         audit=True,
     )
     router = (
@@ -383,6 +385,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="audit every speculative shared-state access against "
             "the declared overlay footprints and fail loudly on any "
             "undeclared access (see docs/static_analysis.md)",
+        )
+        p.add_argument(
+            "--engine",
+            choices=("object", "array", "auto"),
+            default="auto",
+            help="routing engine: the object-graph reference, the "
+            "numpy-backed array core, or auto (array when numpy is "
+            "available; both produce byte-identical reports, see "
+            "docs/performance.md)",
         )
 
     route = sub.add_parser("route", help="route one circuit")

@@ -19,7 +19,45 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import importlib.util
 import os
+from typing import Union
+
+
+class Engine(enum.Enum):
+    """Which routing-engine implementation the flow runs on.
+
+    Both engines execute the *same algorithms* and produce byte-identical
+    :class:`~repro.eval.RoutingReport` documents (counters, histograms,
+    traces modulo wall times); they differ only in their data layout:
+
+    * ``OBJECT`` — the reference implementation: dict/tuple object
+      graphs, one Python object per grid node.
+    * ``ARRAY`` — the :mod:`repro.engine` array core: flat node-indexed
+      base-cost/ownership arrays built once per stage and an indexed A*
+      that works on integer node ids (see ``docs/performance.md``).
+    * ``AUTO`` — ``ARRAY`` when numpy is importable, else ``OBJECT``.
+    """
+
+    OBJECT = "object"
+    ARRAY = "array"
+    AUTO = "auto"
+
+
+def resolve_engine(engine: Union[Engine, str] = Engine.AUTO) -> Engine:
+    """Concrete engine for a requested value.
+
+    ``AUTO`` resolves to :attr:`Engine.ARRAY` when numpy is importable
+    (it is a project dependency, so effectively always) and falls back
+    to :attr:`Engine.OBJECT` on minimal installs.
+    """
+    if isinstance(engine, str):
+        engine = Engine(engine)
+    if engine is not Engine.AUTO:
+        return engine
+    if importlib.util.find_spec("numpy") is not None:
+        return Engine.ARRAY
+    return Engine.OBJECT
 
 
 class ColoringMethod(enum.Enum):
@@ -59,6 +97,13 @@ class RouterConfig:
         max_ripup_iterations: rip-up and re-route rounds for failed nets.
         detail_expansion_limit: A* node-expansion budget per net and
             attempt; keeps worst-case detailed routing bounded.
+        engine: routing-engine implementation (:class:`Engine` or its
+            string form).  ``"object"`` is the reference object-graph
+            implementation, ``"array"`` the :mod:`repro.engine` array
+            core, and ``"auto"`` (the default) picks the array core
+            whenever numpy is importable.  Both engines produce
+            byte-identical reports — the engine is a pure performance
+            knob (see ``docs/performance.md``).
         workers: routing worker threads.  ``1`` (the default) runs the
             unchanged serial code path; ``N > 1`` routes conflict-free
             net batches concurrently and merges them deterministically,
@@ -106,6 +151,7 @@ class RouterConfig:
     gamma: float = 5.0
     max_ripup_iterations: int = 5
     detail_expansion_limit: int = 200_000
+    engine: Engine = Engine.AUTO
     workers: int = 1
     sanitize: bool = False
     audit: bool = False
@@ -124,6 +170,13 @@ class RouterConfig:
         if isinstance(self.coloring, str):
             object.__setattr__(
                 self, "coloring", ColoringMethod(self.coloring)
+            )
+        if isinstance(self.engine, str):
+            object.__setattr__(self, "engine", Engine(self.engine))
+        if not isinstance(self.engine, Engine):
+            raise ValueError(
+                f"engine must be an Engine or one of "
+                f"{[e.value for e in Engine]}, got {self.engine!r}"
             )
         if self.stitch_spacing < 3:
             raise ValueError("stitch_spacing must be at least 3 pitches")
@@ -159,14 +212,17 @@ def benchmark_scale(default: float = 0.1) -> float:
     therefore run on size-scaled instances by default (area shrinks with
     the net count, so congestion ratios are preserved).  Set the
     environment variable ``REPRO_FULL=1`` for full-size instances, or
-    ``REPRO_SCALE=<float>`` for an explicit factor.
+    ``REPRO_SCALE=<float>`` for an explicit factor.  Factors above 1
+    (up to 100) grow the instance beyond the paper's statistics —
+    engine-speedup measurements use them to build workloads large
+    enough that wall-clock ratios are meaningful.
     """
     if os.environ.get("REPRO_FULL") == "1":
         return 1.0
     value = os.environ.get("REPRO_SCALE")
     if value is not None:
         scale = float(value)
-        if not 0.0 < scale <= 1.0:
-            raise ValueError(f"REPRO_SCALE must be in (0, 1], got {scale}")
+        if not 0.0 < scale <= 100.0:
+            raise ValueError(f"REPRO_SCALE must be in (0, 100], got {scale}")
         return scale
     return default

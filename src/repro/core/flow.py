@@ -35,7 +35,7 @@ from ..assign import (
     assign_tracks,
     extract_panels,
 )
-from ..config import ColoringMethod, RouterConfig, TrackMethod
+from ..config import ColoringMethod, RouterConfig, TrackMethod, resolve_engine
 from ..detailed import DetailedResult, DetailedRouter
 from ..eval import RoutingReport, evaluate
 from ..globalroute import GlobalGraph, GlobalRouter, GlobalRoutingResult
@@ -162,6 +162,9 @@ class StitchAwareRouter:
         tracer = ensure(tracer)
         start = time.perf_counter()
         config = self.config
+        # Resolve "auto" once so both stages run the same engine and
+        # the trace meta records the concrete choice.
+        engine = resolve_engine(config.engine).value
 
         def global_stage(d: Design, ordered) -> GlobalRoutingResult:
             # Pass 1: bottom-up global routing of local nets first; the
@@ -170,6 +173,7 @@ class StitchAwareRouter:
                 stitch_aware=config.stitch_aware_global,
                 workers=config.workers,
                 sanitize=config.sanitize,
+                engine=engine,
             ).route(d, tracer=tracer)
 
         def assign_stage(d: Design, global_result: GlobalRoutingResult):
@@ -196,6 +200,7 @@ class StitchAwareRouter:
                 stitch_aware=config.stitch_aware_detail,
                 workers=config.workers,
                 sanitize=config.sanitize,
+                engine=engine,
             ).route(
                 d,
                 global_result.graph,
@@ -237,6 +242,7 @@ class StitchAwareRouter:
             "stitch_aware_detail": config.stitch_aware_detail,
             "workers": config.workers,
             "sanitize": config.sanitize,
+            "engine": engine,
         }
         if config.audit:
             # Only stamped when enabled so default-config traces stay

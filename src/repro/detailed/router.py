@@ -104,6 +104,12 @@ class DetailedRouter:
             declared read/write footprints, raising
             :class:`~repro.analysis.SanitizerViolation` on any
             undeclared access (see ``docs/static_analysis.md``).
+        engine: concrete engine name — ``"object"`` routes on the
+            reference :class:`DetailedGrid`, ``"array"`` on the
+            :class:`~repro.engine.ArrayDetailedGrid` array core.  The
+            two produce byte-identical results (``docs/performance.md``);
+            resolve ``"auto"`` with :func:`repro.config.resolve_engine`
+            before constructing the router.
     """
 
     def __init__(
@@ -111,10 +117,16 @@ class DetailedRouter:
         stitch_aware: bool = True,
         workers: int = 1,
         sanitize: bool = False,
+        engine: str = "object",
     ) -> None:
+        if engine not in ("object", "array"):
+            raise ValueError(
+                f"engine must be 'object' or 'array', got {engine!r}"
+            )
         self.stitch_aware = stitch_aware
         self.workers = workers
         self.sanitize = sanitize
+        self.engine = engine
         #: A* search counters flushed into the tracer at stage end.
         self._search_stats: dict[str, float] = {}
 
@@ -162,7 +174,14 @@ class DetailedRouter:
             "detailed-route", nets=len(design.netlist)
         ) as stage:
             with tracer.span("grid-build"):
-                grid = DetailedGrid(design, stitch_aware=self.stitch_aware)
+                if self.engine == "array":
+                    from ..engine import ArrayDetailedGrid
+
+                    grid: DetailedGrid = ArrayDetailedGrid(
+                        design, stitch_aware=self.stitch_aware
+                    )
+                else:
+                    grid = DetailedGrid(design, stitch_aware=self.stitch_aware)
                 nets = list(order_hint) if order_hint is not None else sorted(
                     design.netlist, key=lambda n: (n.hpwl, n.name)
                 )
@@ -281,7 +300,7 @@ class DetailedRouter:
                     # (through a write-through overlay so the exact
                     # write set feeds later conflict checks).
                     conflicts += 1
-                    live = GridOverlay(grid)
+                    live = grid.speculative_overlay()
                     result = self._connect_net(
                         design, live, net, trunk_pieces
                     )
@@ -327,7 +346,7 @@ class DetailedRouter:
 
             overlay: GridOverlay = SanitizedGridOverlay(grid)
         else:
-            overlay = GridOverlay(grid)
+            overlay = grid.speculative_overlay()
         result = self._connect_net(
             design, overlay, net, trunk_pieces, stats=stats
         )

@@ -55,6 +55,22 @@ def astar_connect(
         # pick is hash-seed independent and reproducible as committed.
         node = next(iter(sources & targets))  # repro: allow-DET005
         return [node]
+    indexed = getattr(grid, "indexed_search", None)
+    if indexed is not None:
+        # Array-core fast path (repro.engine): same loop over flat
+        # node ids, byte-identical result and counters.  Sanitized
+        # overlays expose no indexed_search, so instrumented runs fall
+        # through to the reference loop below.
+        return indexed(
+            net,
+            sources,
+            targets,
+            window,
+            expansion_limit,
+            blocked=blocked,
+            foreign_penalty=foreign_penalty,
+            stats=stats,
+        )
     lo_x, lo_y, hi_x, hi_y = window
 
     # O(1) heuristic: distance to the targets' bounding box, weighted

@@ -10,6 +10,7 @@ reports.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from collections.abc import Iterable, Sequence
 
 from ..geometry import GridPoint, Interval, Orientation, WireSegment
@@ -54,10 +55,10 @@ def trim_dangling(edges: set[Edge], anchors: set[Node]) -> set[Edge]:
     """
     # Leaf peeling is confluent: whatever order edges are indexed and
     # leaves are peeled in, the surviving edge set is the same.
-    incident: dict[Node, set[Edge]] = {}
+    incident: dict[Node, set[Edge]] = defaultdict(set)
     for edge in edges:  # repro: allow-DET001 confluent reduction
-        for node in edge:
-            incident.setdefault(node, set()).add(edge)
+        incident[edge[0]].add(edge)
+        incident[edge[1]].add(edge)
     alive = set(edges)
     frontier = [
         node
@@ -84,14 +85,19 @@ def edges_to_segments(edges: set[Edge]) -> list[WireSegment]:
     """Merge collinear unit edges into maximal wire segments."""
     # Group contents are canonicalized downstream: groups are consumed
     # via sorted(...) and run starts via sorted(set(...)).
-    groups: dict[tuple[str, int, int], list[int]] = {}
+    groups: dict[tuple[str, int, int], list[int]] = defaultdict(list)
     for a, b in edges:  # repro: allow-DET001 output canonicalized below
-        if a[0] != b[0]:
-            groups.setdefault(("x", a[1], a[2]), []).append(min(a[0], b[0]))
-        elif a[1] != b[1]:
-            groups.setdefault(("y", a[0], a[2]), []).append(min(a[1], b[1]))
+        a0, a1, a2 = a
+        b0 = b[0]
+        if a0 != b0:
+            groups[("x", a1, a2)].append(a0 if a0 < b0 else b0)
         else:
-            groups.setdefault(("z", a[0], a[1]), []).append(min(a[2], b[2]))
+            b1 = b[1]
+            if a1 != b1:
+                groups[("y", a0, a2)].append(a1 if a1 < b1 else b1)
+            else:
+                b2 = b[2]
+                groups[("z", a0, a1)].append(a2 if a2 < b2 else b2)
 
     segments: list[WireSegment] = []
     for (axis, c1, c2), starts in sorted(groups.items()):

@@ -1,0 +1,276 @@
+"""Array-core global routing: cached step costs + indexed tile A*.
+
+The object engine re-derives every A* step cost from scratch —
+``2 ** ((demand + 1) / capacity)`` per edge probe, plus the vertex
+(line-end) price at every vertical-run boundary.  The array core keeps
+three cost caches, one entry per resource:
+
+* ``_h_cost[i][j]`` / ``_v_cost[i][j]`` — the full A* edge step
+  (``WL_WEIGHT`` + Eq. (1) next-use congestion + history);
+* ``_v_price[i][j]`` — the full line-end step price (Eq. (2) next-use
+  cost scaled by ``VERTEX_WEIGHT``, plus history and the hard overflow
+  penalty).
+
+Caches follow the incremental obstacle-cache idiom: built once per
+stage, updated entry-wise by the demand mutators, rebuilt wholesale
+after the serial history bump, and *cloned* per worker snapshot
+instead of recomputed.  Every cache entry is produced by calling the
+scalar reference kernels (:func:`~repro.globalroute.cost
+.edge_cost_if_used`, :func:`~repro.globalroute.cost.vertex_price`) —
+not the vectorized :func:`~repro.globalroute.cost
+.congestion_cost_array`, whose ``numpy.exp2`` may differ from CPython
+``2.0 ** x`` in the last ulp — so both engines price every step with
+bit-identical floats.
+
+The indexed A* encodes the object engine's ``((i, j), direction)``
+search states as ``(i * ny + j) * 3 + dircode`` with ``"" < "h" < "v"``
+mapped to ``0 < 1 < 2``; the encoding is monotonic in the tuple order,
+so the ``(f, g, state)`` heap tie-break is preserved exactly and both
+engines expand the same states in the same order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..globalroute.cost import edge_cost_if_used, vertex_price
+from ..globalroute.graph import GlobalGraph, Tile
+from ..globalroute.overlay import GraphSnapshot
+from ..globalroute.router import WL_WEIGHT
+from ..layout import Design
+
+_INF = float("inf")
+
+
+class _CostCacheMixin:
+    """Cost caches and the indexed A* shared by graph and snapshot.
+
+    Concrete classes (:class:`ArrayGlobalGraph`,
+    :class:`ArrayGraphSnapshot`) initialize ``_h_cost`` / ``_v_cost`` /
+    ``_v_price``; the mixin maintains them through the demand mutators
+    and provides :meth:`astar_in_window`, the fast path
+    ``GlobalRouter._astar_in_window`` dispatches to when present.
+    """
+
+    nx: int
+    ny: int
+    _h_cost: list[list[float]]
+    _v_cost: list[list[float]]
+    _v_price: list[list[float]]
+
+    def refresh_cost_cache(self) -> None:
+        """Rebuild every cache entry from the scalar reference kernels.
+
+        Called at construction and by the router after the history
+        bump (which mutates the history arrays behind the graph's
+        back).  Entries come from the same functions the object engine
+        calls per A* probe, so the cached floats are bit-identical.
+        """
+        graph = self._as_graph()
+        nx, ny = self.nx, self.ny
+        self._h_cost = [
+            [WL_WEIGHT + edge_cost_if_used(graph, ("h", i, j)) for j in range(ny)]
+            for i in range(nx - 1)
+        ]
+        self._v_cost = [
+            [WL_WEIGHT + edge_cost_if_used(graph, ("v", i, j)) for j in range(ny - 1)]
+            for i in range(nx)
+        ]
+        self._v_price = [
+            [vertex_price(graph, (i, j)) for j in range(ny)] for i in range(nx)
+        ]
+
+    def _as_graph(self) -> GlobalGraph:
+        """This object viewed as the graph the scalar kernels price."""
+        assert isinstance(self, GlobalGraph)
+        return self
+
+    # -- demand mutators keep the caches fresh --------------------------
+    def add_edge_demand(self, key: tuple[str, int, int], delta: int) -> None:
+        super().add_edge_demand(key, delta)  # type: ignore[misc]
+        kind, i, j = key
+        cost = WL_WEIGHT + edge_cost_if_used(self._as_graph(), key)
+        if kind == "h":
+            self._h_cost[i][j] = cost
+        else:
+            self._v_cost[i][j] = cost
+
+    def add_vertex_demand(self, tile: Tile, delta: int) -> None:
+        super().add_vertex_demand(tile, delta)  # type: ignore[misc]
+        i, j = tile
+        self._v_price[i][j] = vertex_price(self._as_graph(), tile)
+
+    # -- indexed A* ------------------------------------------------------
+    def astar_in_window(
+        self,
+        src: Tile,
+        dst: Tile,
+        window: tuple[int, int, int, int],
+        stitch_aware: bool,
+        stats: dict[str, float],
+    ) -> Optional[list[Tile]]:
+        """Array-core twin of ``GlobalRouter._astar_in_window``.
+
+        Same arguments (minus the graph, which is ``self``, plus the
+        router's ``stitch_aware`` flag), same result, same
+        ``maze_expansions`` accounting; called after the shared
+        ``src == dst`` shortcut, so only the heap loop lives here.
+
+        Byte-identity notes: states are ``((i, j), direction)`` encoded
+        order-preservingly as integers; successors are generated in
+        ``GlobalGraph.neighbors`` order (left, right, down, up); the
+        expansion counter increments before the target test (the
+        opposite of the detailed A* — both match their references);
+        vertex prices are charged run-start, then run-end, then
+        destination, in the reference order; relaxation keeps the
+        ``1e-12`` slack.
+        """
+        lo_x, lo_y, hi_x, hi_y = window
+        nx, ny = self.nx, self.ny
+        h_cost = self._h_cost
+        v_cost = self._v_cost
+        v_price = self._v_price
+        di, dj = dst
+        dst_code = di * ny + dj
+
+        # State id: (i * ny + j) * 3 + dircode with "" -> 0, "h" -> 1,
+        # "v" -> 2 — monotonic in the ((i, j), dir) tuple order.
+        start = (src[0] * ny + src[1]) * 3
+        best: dict[int, float] = {start: 0.0}
+        parent: dict[int, int] = {}
+        heap: list[tuple[float, float, int]] = [
+            (WL_WEIGHT * (abs(src[0] - di) + abs(src[1] - dj)), 0.0, start)
+        ]
+        goal = -1
+        expansions = 0
+        best_get = best.get
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while heap:
+            _f, g, state = heappop(heap)
+            if g > best_get(state, _INF):
+                continue
+            expansions += 1
+            tc, dircode = divmod(state, 3)
+            if tc == dst_code:
+                goal = state
+                break
+            i, j = divmod(tc, ny)
+            vertical_run = dircode == 2
+
+            # Successors in GlobalGraph.neighbors order: (i-1, j),
+            # (i+1, j), (i, j-1), (i, j+1).
+            if i > 0 and lo_x <= i - 1 <= hi_x and lo_y <= j <= hi_y:
+                step = h_cost[i - 1][j]
+                if stitch_aware and vertical_run:
+                    # A vertical run just ended at this tile.
+                    step = step + v_price[i][j]
+                candidate = g + step
+                succ_state = (tc - ny) * 3 + 1
+                if candidate < best_get(succ_state, _INF) - 1e-12:
+                    best[succ_state] = candidate
+                    parent[succ_state] = state
+                    heappush(
+                        heap,
+                        (
+                            candidate + WL_WEIGHT * (abs(i - 1 - di) + abs(j - dj)),
+                            candidate,
+                            succ_state,
+                        ),
+                    )
+            if i + 1 < nx and lo_x <= i + 1 <= hi_x and lo_y <= j <= hi_y:
+                step = h_cost[i][j]
+                if stitch_aware and vertical_run:
+                    step = step + v_price[i][j]
+                candidate = g + step
+                succ_state = (tc + ny) * 3 + 1
+                if candidate < best_get(succ_state, _INF) - 1e-12:
+                    best[succ_state] = candidate
+                    parent[succ_state] = state
+                    heappush(
+                        heap,
+                        (
+                            candidate + WL_WEIGHT * (abs(i + 1 - di) + abs(j - dj)),
+                            candidate,
+                            succ_state,
+                        ),
+                    )
+            if j > 0 and lo_x <= i <= hi_x and lo_y <= j - 1 <= hi_y:
+                step = v_cost[i][j - 1]
+                if stitch_aware:
+                    if not vertical_run:
+                        # A vertical run starts: line end at this tile.
+                        step = step + v_price[i][j]
+                    if tc - 1 == dst_code:
+                        # The run will terminate at the target tile.
+                        step = step + v_price[i][j - 1]
+                candidate = g + step
+                succ_state = (tc - 1) * 3 + 2
+                if candidate < best_get(succ_state, _INF) - 1e-12:
+                    best[succ_state] = candidate
+                    parent[succ_state] = state
+                    heappush(
+                        heap,
+                        (
+                            candidate + WL_WEIGHT * (abs(i - di) + abs(j - 1 - dj)),
+                            candidate,
+                            succ_state,
+                        ),
+                    )
+            if j + 1 < ny and lo_x <= i <= hi_x and lo_y <= j + 1 <= hi_y:
+                step = v_cost[i][j]
+                if stitch_aware:
+                    if not vertical_run:
+                        step = step + v_price[i][j]
+                    if tc + 1 == dst_code:
+                        step = step + v_price[i][j + 1]
+                candidate = g + step
+                succ_state = (tc + 1) * 3 + 2
+                if candidate < best_get(succ_state, _INF) - 1e-12:
+                    best[succ_state] = candidate
+                    parent[succ_state] = state
+                    heappush(
+                        heap,
+                        (
+                            candidate + WL_WEIGHT * (abs(i - di) + abs(j + 1 - dj)),
+                            candidate,
+                            succ_state,
+                        ),
+                    )
+        stats["maze_expansions"] = stats.get("maze_expansions", 0) + expansions
+        if goal < 0:
+            return None
+        states = [goal]
+        while states[-1] != start:
+            states.append(parent[states[-1]])
+        states.reverse()
+        return [divmod(s // 3, ny) for s in states]
+
+
+class ArrayGlobalGraph(_CostCacheMixin, GlobalGraph):
+    """:class:`GlobalGraph` plus cost caches and the indexed A* path."""
+
+    def __init__(self, design: Design) -> None:
+        super().__init__(design)
+        self.refresh_cost_cache()
+
+    def snapshot(self) -> GraphSnapshot:
+        """Snapshot carrying cloned cost caches (array fast path)."""
+        return ArrayGraphSnapshot(self)
+
+
+class ArrayGraphSnapshot(_CostCacheMixin, GraphSnapshot):
+    """:class:`GraphSnapshot` whose searches run on cloned caches.
+
+    Demand arrays are private copies (as in the base snapshot), so the
+    caches are cloned rather than rebuilt — the live graph keeps its
+    entries fresh through the demand mutators, making them exactly the
+    per-batch state a rebuild would produce, at list-copy cost.
+    """
+
+    def __init__(self, base: ArrayGlobalGraph) -> None:
+        super().__init__(base)
+        self._h_cost = [row[:] for row in base._h_cost]
+        self._v_cost = [row[:] for row in base._v_cost]
+        self._v_price = [row[:] for row in base._v_price]

@@ -11,10 +11,23 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from .graph import GlobalGraph, Tile
 
 #: Cost assigned per unit of demand on a zero-capacity resource.
 _ZERO_CAPACITY_PENALTY = 64.0
+
+#: Scale of the upfront vertex (line-end) congestion price.  Kept below
+#: 1 so that first-pass paths do not detour pre-emptively; rip-up
+#: history does the targeted spreading.
+VERTEX_WEIGHT = 0.3
+
+#: Step penalty for a line end that would *overflow* its tile.  The
+#: smooth Eq. (2) price barely distinguishes a full tile from an
+#: overflowing one (2^(d/c)-1 grows slowly near d=c), so negotiation
+#: needs this hard gradient to converge on large instances.
+VERTEX_OVERFLOW_PENALTY = 6.0
 
 
 def congestion_cost(demand: float, capacity: float) -> float:
@@ -63,6 +76,51 @@ def vertex_cost_if_used(graph: GlobalGraph, tile: Tile) -> float:
         float(graph.vertex_demand[i, j]) + 1.0,
         float(graph.vertex_capacity[i, j]),
     )
+
+
+def vertex_price(graph: GlobalGraph, tile: Tile) -> float:
+    """Full A* step price of a line end landing on ``tile``.
+
+    The base Eq. (2) price (kept mild so uncongested paths stay short)
+    plus the negotiated history term and the hard overflow step; the
+    global router charges it where a vertical run starts or ends.
+    """
+    i, j = tile
+    price = VERTEX_WEIGHT * vertex_cost_if_used(graph, tile) + float(
+        graph.vertex_history[i, j]
+    )
+    if graph.vertex_demand[i, j] + 1 > graph.vertex_capacity[i, j]:
+        price += VERTEX_OVERFLOW_PENALTY
+    return price
+
+
+def congestion_cost_array(demand, capacity):
+    """Vectorized :func:`congestion_cost` over demand/capacity arrays.
+
+    Returns a float64 array with the same piecewise definition:
+    ``0`` where demand is non-positive, the linear zero-capacity
+    penalty where capacity is non-positive, and ``2^(d/c) - 1``
+    elsewhere.  ``numpy.exp2`` may differ from the scalar kernel's
+    CPython ``2.0 ** x`` in the last ulp, so this kernel serves bulk
+    analysis (congestion maps, overflow summaries); the array engine's
+    cost *caches* call the scalar functions per entry precisely
+    because the engines must agree bit for bit (see
+    ``docs/performance.md``).
+    """
+    d = np.asarray(demand, dtype=np.float64)
+    c = np.asarray(capacity, dtype=np.float64)
+    d, c = np.broadcast_arrays(d, c)
+    out = np.zeros(d.shape, dtype=np.float64)
+    positive = d > 0
+    zero_cap = positive & (c <= 0)
+    out[zero_cap] = _ZERO_CAPACITY_PENALTY * d[zero_cap]
+    smooth = positive & (c > 0)
+    # Extreme demand/capacity ratios saturate to +inf (2^1024 overflows
+    # float64); that is the intended reading for a congestion map, so
+    # the overflow warning is noise.
+    with np.errstate(over="ignore"):
+        out[smooth] = np.exp2(d[smooth] / c[smooth]) - 1.0
+    return out
 
 
 def path_cost(

@@ -23,9 +23,14 @@ from ..algorithms import steiner_tree_edges
 from ..layout import Design, Net
 from ..observe import Span, Tracer, ensure
 from ..parallel import BatchExecutor, plan_batches
-from .cost import edge_cost_if_used, vertex_cost_if_used
+from .cost import (
+    VERTEX_OVERFLOW_PENALTY,  # noqa: F401  (re-export: moved to .cost)
+    VERTEX_WEIGHT,  # noqa: F401  (re-export: moved to .cost)
+    edge_cost_if_used,
+    vertex_price,
+)
 from .graph import GlobalGraph, Tile
-from .overlay import GraphSnapshot, windows_hit
+from .overlay import windows_hit
 
 #: Weight of one tile hop in the A* cost; small so congestion dominates
 #: but paths stay short when congestion is zero.
@@ -35,17 +40,6 @@ WL_WEIGHT = 0.1
 #: endpoints; doubles as the batch planner's expansion: two nets whose
 #: bboxes stay this far apart cannot read each other's demand.
 ASTAR_WINDOW_MARGIN = 4
-
-#: Scale of the upfront vertex (line-end) congestion price.  Kept below
-#: 1 so that first-pass paths do not detour pre-emptively; rip-up
-#: history does the targeted spreading.
-VERTEX_WEIGHT = 0.3
-
-#: Step penalty for a line end that would *overflow* its tile.  The
-#: smooth Eq. (2) price barely distinguishes a full tile from an
-#: overflowing one (2^(d/c)-1 grows slowly near d=c), so negotiation
-#: needs this hard gradient to converge on large instances.
-VERTEX_OVERFLOW_PENALTY = 6.0
 
 
 @dataclasses.dataclass
@@ -110,6 +104,13 @@ class GlobalRouter:
             it against the declared A* windows, raising
             :class:`~repro.analysis.SanitizerViolation` on any
             undeclared access (see ``docs/static_analysis.md``).
+        engine: concrete engine name — ``"object"`` routes on the
+            reference :class:`GlobalGraph`, ``"array"`` on the
+            :class:`~repro.engine.ArrayGlobalGraph` with incrementally
+            maintained cost caches.  The two produce byte-identical
+            results (``docs/performance.md``); resolve ``"auto"`` with
+            :func:`repro.config.resolve_engine` before constructing
+            the router.
     """
 
     def __init__(
@@ -119,12 +120,18 @@ class GlobalRouter:
         steiner: bool = False,
         workers: int = 1,
         sanitize: bool = False,
+        engine: str = "object",
     ) -> None:
+        if engine not in ("object", "array"):
+            raise ValueError(
+                f"engine must be 'object' or 'array', got {engine!r}"
+            )
         self.stitch_aware = stitch_aware
         self.ripup_rounds = ripup_rounds
         self.steiner = steiner
         self.workers = workers
         self.sanitize = sanitize
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def route(
@@ -142,7 +149,12 @@ class GlobalRouter:
         try:
             with tracer.span("global-route") as stage:
                 with tracer.span("graph-build"):
-                    graph = GlobalGraph(design)
+                    if self.engine == "array":
+                        from ..engine import ArrayGlobalGraph
+
+                        graph: GlobalGraph = ArrayGlobalGraph(design)
+                    else:
+                        graph = GlobalGraph(design)
                 order = self._bottom_up_order(design, graph)
 
                 routes: dict[str, GlobalRoute] = {}
@@ -304,7 +316,7 @@ class GlobalRouter:
             route = self._route_net(snapshot, net, stats, windows)
             snapshot.verify(windows, stats)
         else:
-            snapshot = GraphSnapshot(graph)
+            snapshot = graph.snapshot()
             route = self._route_net(snapshot, net, stats, windows)
         return route, stats, windows
 
@@ -463,6 +475,14 @@ class GlobalRouter:
         lo_x, lo_y, hi_x, hi_y = window
         if src == dst:
             return [src]
+        fast = getattr(graph, "astar_in_window", None)
+        if fast is not None:
+            # Array-core fast path (repro.engine): same direction-aware
+            # loop over integer state ids against the graph's cost
+            # caches, byte-identical result and counters.  Sanitized
+            # snapshots expose no astar_in_window, so instrumented runs
+            # fall through to the reference loop below.
+            return fast(src, dst, window, self.stitch_aware, stats)
 
         def heuristic(t: Tile) -> float:
             return WL_WEIGHT * (abs(t[0] - dst[0]) + abs(t[1] - dst[1]))
@@ -520,13 +540,7 @@ class GlobalRouter:
         # history term, which only grows where overflow survives a
         # rip-up round.  This mirrors NTUgr-style pricing and keeps the
         # wirelength overhead in the paper's ~1.5% band.
-        i, j = tile
-        price = VERTEX_WEIGHT * vertex_cost_if_used(graph, tile) + float(
-            graph.vertex_history[i, j]
-        )
-        if graph.vertex_demand[i, j] + 1 > graph.vertex_capacity[i, j]:
-            price += VERTEX_OVERFLOW_PENALTY
-        return price
+        return vertex_price(graph, tile)
 
     @staticmethod
     def _reconstruct(
@@ -601,6 +615,11 @@ class GlobalRouter:
         if self.stitch_aware:
             over_vertex = graph.vertex_demand > graph.vertex_capacity
             graph.vertex_history[over_vertex] += 0.5
+        # History feeds the array engine's cost caches; rebuild them
+        # after mutating it behind the graph's back.
+        refresh = getattr(graph, "refresh_cost_cache", None)
+        if refresh is not None:
+            refresh()
 
 
 def vertical_run_line_ends(path: Sequence[Tile]) -> list[Tile]:

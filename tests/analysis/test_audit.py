@@ -16,7 +16,7 @@ from repro.analysis import (
 )
 from repro.benchmarks_gen import mcnc_design
 from repro.config import RouterConfig
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.detailed import DetailedResult
 from repro.detailed.router import RoutedNet
 from repro.eval import evaluate

@@ -9,7 +9,7 @@ import pytest
 from repro.analysis import audit_solution
 from repro.benchmarks_gen import mcnc_design
 from repro.cli import build_parser, main
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 
 
 class TestParser:

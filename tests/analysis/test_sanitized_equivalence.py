@@ -11,7 +11,7 @@ import json
 
 from repro.benchmarks_gen import mcnc_design
 from repro.config import RouterConfig
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.io import report_to_dict
 
 CIRCUIT = "S9234"

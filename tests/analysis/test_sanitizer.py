@@ -13,7 +13,7 @@ from repro.analysis import (
     SanitizerViolation,
 )
 from repro.config import RouterConfig
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.detailed import DetailedGrid
 from repro.geometry import Point
 from repro.globalroute import GlobalGraph

@@ -57,7 +57,15 @@ class TestGenerateDesign:
         with pytest.raises(ValueError):
             generate_design(SMALL, scale=0.0)
         with pytest.raises(ValueError):
-            generate_design(SMALL, scale=1.5)
+            generate_design(SMALL, scale=101.0)
+
+    def test_oversize_scale_grows_the_instance(self):
+        # Factors above 1 (up to 100) build the oversized workloads
+        # the engine-speedup measurements need (docs/performance.md).
+        full = generate_design(SMALL, scale=1.0)
+        double = generate_design(SMALL, scale=2.0)
+        assert double.num_nets > full.num_nets
+        assert double.width * double.height > full.width * full.height
 
     def test_all_nets_have_two_distinct_locations(self):
         d = generate_design(SMALL)

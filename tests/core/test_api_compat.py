@@ -5,7 +5,7 @@ import warnings
 import pytest
 
 from repro.config import ColoringMethod, RouterConfig, TrackMethod
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 
 
 class TestConfigConstructor:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.benchmarks_gen import SyntheticSpec, generate_design
 from repro.config import RouterConfig
-from repro.core import BaselineRouter, FlowResult, StitchAwareRouter
+from repro.api import BaselineRouter, FlowResult, StitchAwareRouter
 from repro.assign import ColoringMethod, TrackMethod
 
 SPEC = SyntheticSpec(

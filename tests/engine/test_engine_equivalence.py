@@ -1,0 +1,96 @@
+"""Differential harness: the array engine must equal the object engine.
+
+The byte-identity contract of ``RouterConfig(engine=...)`` (see
+``docs/performance.md``): for every circuit, worker count and
+sanitizer setting, the array core produces a serialized
+:class:`~repro.eval.RoutingReport` byte-identical to the object
+engine's (after stripping wall-time fields) and every deterministic
+trace counter matches exactly.  The array solutions must additionally
+survive the independent geometry audit — identical counters from two
+engines sharing a bug would otherwise go unnoticed.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import audit_solution
+from repro.api import RouterConfig, StitchAwareRouter
+from repro.benchmarks_gen import mcnc_design
+from repro.io import report_to_dict
+
+CIRCUITS = {"S9234": 0.02, "S5378": 0.02, "S13207": 0.02}
+
+
+def route_flow(circuit, scale, **config_kwargs):
+    design = mcnc_design(circuit, scale)
+    router = StitchAwareRouter(config=RouterConfig(**config_kwargs))
+    return router.route(design)
+
+
+def canonical_report(flow):
+    doc = report_to_dict(flow.report)
+    # Wall times are the only sanctioned cross-engine difference.
+    doc.pop("cpu_seconds", None)
+    doc.pop("trace", None)
+    return json.dumps(doc, sort_keys=True).encode()
+
+
+def assert_counters_match(object_trace, array_trace):
+    assert (
+        object_trace.aggregate_counters() == array_trace.aggregate_counters()
+    )
+
+
+@pytest.mark.parametrize("circuit", sorted(CIRCUITS))
+class TestEngineEquivalence:
+    def test_serial_reports_byte_identical(self, circuit):
+        scale = CIRCUITS[circuit]
+        obj = route_flow(circuit, scale, engine="object")
+        arr = route_flow(circuit, scale, engine="array")
+        assert canonical_report(obj) == canonical_report(arr)
+        assert_counters_match(obj.trace, arr.trace)
+        assert obj.trace.meta["engine"] == "object"
+        assert arr.trace.meta["engine"] == "array"
+
+    def test_parallel_array_equals_serial_object(self, circuit):
+        """workers=4 on the array core still equals the serial object run."""
+        scale = CIRCUITS[circuit]
+        obj = route_flow(circuit, scale, engine="object")
+        arr = route_flow(circuit, scale, engine="array", workers=4)
+        assert canonical_report(obj) == canonical_report(arr)
+        routing = {
+            k: v
+            for k, v in arr.trace.aggregate_counters().items()
+            if not k.startswith("parallel_")
+        }
+        assert routing == obj.trace.aggregate_counters()
+
+    def test_array_solution_survives_independent_audit(self, circuit):
+        scale = CIRCUITS[circuit]
+        arr = route_flow(circuit, scale, engine="array")
+        report = audit_solution(
+            arr.detailed_result, arr.report, arr.global_result
+        )
+        assert report.ok, [f.message for f in report.findings]
+
+
+def test_sanitized_parallel_run_matches_across_engines():
+    """sanitize=True falls back to object search paths yet stays identical.
+
+    The sanitized overlays deliberately lack the indexed fast-path
+    hooks, so this exercises the mixed regime: array base state, object
+    search under the sanitizer — reports must still match byte for
+    byte.
+    """
+    obj = route_flow("S5378", 0.02, engine="object")
+    arr = route_flow(
+        "S5378", 0.02, engine="array", workers=4, sanitize=True
+    )
+    assert canonical_report(obj) == canonical_report(arr)
+
+
+def test_auto_engine_resolves_to_array_when_numpy_present():
+    pytest.importorskip("numpy")
+    flow = route_flow("S9234", 0.02, engine="auto")
+    assert flow.trace.meta["engine"] == "array"

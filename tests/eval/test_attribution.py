@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.benchmarks_gen import mcnc_design
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.eval import VIOLATION_KINDS, NetReport, RoutingReport, Violation
 from repro.io import report_from_dict, report_to_dict
 from repro.layout import StitchingLines

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 
 from repro.algorithms import DisjointSet
 from repro.benchmarks_gen import SyntheticSpec, generate_design
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 
 
 def spec_strategy():

@@ -7,7 +7,7 @@ they guard is refactored away.
 import pytest
 
 from repro.benchmarks_gen import SyntheticSpec, generate_design
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.detailed import DetailedGrid
 from repro.detailed.wiring import path_edges
 from repro.geometry import GridPoint, WireSegment

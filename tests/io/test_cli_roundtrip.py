@@ -3,7 +3,7 @@
 import json
 
 from repro.cli import main
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.io import load_design, load_report
 
 

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.benchmarks_gen import SyntheticSpec, generate_design
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.io import (
     design_from_dict,
     design_to_dict,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.benchmarks_gen import mcnc_design
-from repro.core import BaselineRouter, StitchAwareRouter
+from repro.api import BaselineRouter, StitchAwareRouter
 from repro.observe import RunTrace, Tracer
 
 STAGES = ("global-route", "layer-assign", "track-assign", "detailed-route")

@@ -19,7 +19,7 @@ import pytest
 
 from repro.benchmarks_gen import mcnc_design
 from repro.config import RouterConfig
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.io import report_to_dict
 from repro.parallel import BatchPlan
 

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.benchmarks_gen import SyntheticSpec, generate_design
 from repro.config import RouterConfig
-from repro.core import StitchAwareRouter
+from repro.api import StitchAwareRouter
 from repro.geometry import Point
 from repro.layout import Design, Net, Netlist, Pin, Technology
 from repro.place import refine_pin_placement

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.benchmarks_gen import SyntheticSpec, generate_design
-from repro.core import BaselineRouter
+from repro.api import BaselineRouter
 from repro.geometry import Rect
 from repro.raster import (
     rasterize_window,

@@ -1,0 +1,65 @@
+"""The ``repro.api`` facade contract and its deprecation shims."""
+
+import importlib
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.benchmarks_gen import mcnc_design
+
+
+class TestFacadeExports:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_lazy_analysis_reexports(self):
+        from repro.analysis import audit_solution, lint_paths
+
+        assert api.audit_solution is audit_solution
+        assert api.lint_paths is lint_paths
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            api.no_such_name
+
+    def test_root_package_serves_the_same_objects(self):
+        import repro
+
+        assert repro.StitchAwareRouter is api.StitchAwareRouter
+        assert repro.RouterConfig is api.RouterConfig
+        assert repro.FlowResult is api.FlowResult
+
+
+class TestRouteConvenience:
+    def test_routes_with_default_config(self):
+        design = mcnc_design("S9234", scale=0.02)
+        result = api.route(design)
+        assert isinstance(result, api.FlowResult)
+        assert isinstance(result.report, api.RoutingReport)
+
+    def test_honours_engine_selection(self):
+        design = mcnc_design("S9234", scale=0.02)
+        result = api.route(design, api.RouterConfig(engine="object"))
+        assert result.trace is not None
+        assert result.trace.meta["engine"] == "object"
+
+
+class TestCoreShim:
+    def test_old_import_path_warns_and_still_works(self):
+        core = importlib.import_module("repro.core")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            router_cls = core.StitchAwareRouter
+        assert router_cls is api.StitchAwareRouter
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.api" in str(w.message)
+            for w in caught
+        )
+
+    def test_shim_rejects_unknown_names(self):
+        core = importlib.import_module("repro.core")
+        with pytest.raises(AttributeError):
+            core.DetailedRouter

@@ -4,7 +4,13 @@ import dataclasses
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG, RouterConfig, benchmark_scale
+from repro.config import (
+    DEFAULT_CONFIG,
+    Engine,
+    RouterConfig,
+    benchmark_scale,
+    resolve_engine,
+)
 
 
 class TestRouterConfig:
@@ -63,11 +69,19 @@ class TestBenchmarkScale:
         monkeypatch.setenv("REPRO_SCALE", "0.25")
         assert benchmark_scale() == 0.25
 
+    def test_oversize_scale_for_speedup_runs(self, monkeypatch):
+        # Factors above 1 (up to 100) grow instances beyond the
+        # paper's statistics for engine-speedup measurements.
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "10")
+        assert benchmark_scale() == 10.0
+
     def test_invalid_scale_rejected(self, monkeypatch):
         monkeypatch.delenv("REPRO_FULL", raising=False)
-        monkeypatch.setenv("REPRO_SCALE", "1.5")
-        with pytest.raises(ValueError):
-            benchmark_scale()
+        for bad in ("0", "-0.5", "101"):
+            monkeypatch.setenv("REPRO_SCALE", bad)
+            with pytest.raises(ValueError):
+                benchmark_scale()
 
 
 class TestWorkersValidation:
@@ -105,3 +119,28 @@ class TestAuditFlag:
             RouterConfig(audit=1)
         with pytest.raises(ValueError):
             RouterConfig(audit="yes")
+
+
+class TestEngineField:
+    def test_default_is_auto(self):
+        assert DEFAULT_CONFIG.engine is Engine.AUTO
+
+    def test_accepts_enum_and_string(self):
+        assert RouterConfig(engine=Engine.ARRAY).engine is Engine.ARRAY
+        assert RouterConfig(engine="object").engine is Engine.OBJECT
+        assert RouterConfig(engine="auto").engine is Engine.AUTO
+
+    def test_rejects_unknown_engines(self):
+        with pytest.raises(ValueError):
+            RouterConfig(engine="vectorized")
+        with pytest.raises(ValueError):
+            RouterConfig(engine=3)
+
+    def test_resolve_never_returns_auto(self):
+        assert resolve_engine(Engine.OBJECT) is Engine.OBJECT
+        assert resolve_engine("array") is Engine.ARRAY
+        assert resolve_engine(Engine.AUTO) in (Engine.OBJECT, Engine.ARRAY)
+
+    def test_auto_prefers_array_with_numpy(self):
+        pytest.importorskip("numpy")
+        assert resolve_engine(Engine.AUTO) is Engine.ARRAY
