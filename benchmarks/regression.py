@@ -28,6 +28,8 @@ Exit status is non-zero on any regression, so CI can gate on it::
     PYTHONPATH=src python benchmarks/regression.py --engine array  # array-core gate
     PYTHONPATH=src python benchmarks/regression.py --scale 10 --out-dir .  # engine speedup
     PYTHONPATH=src python benchmarks/regression.py --snapshot-dir .  # refresh BENCH_*.json
+    PYTHONPATH=src python benchmarks/regression.py --profile counters  # profiled gate
+    PYTHONPATH=src python benchmarks/regression.py --overhead-budget 2 --repeat 5  # profiling cost
 
 ``--engine array`` runs the whole gate on the numpy array core
 (:mod:`repro.engine`) and diffs against the *same committed
@@ -48,6 +50,16 @@ counterpart).  It also runs serially and prints the per-circuit
 wall-clock speedup (on GIL-bound pure-Python workloads expect ~1.0x;
 see ``docs/parallelism.md``).  Combine with ``--no-wall`` when the
 committed wall times come from other hardware.
+
+``--profile counters|full`` routes the gate with the engine profiling
+counters enabled and strips the ``perf_*`` / ``stream_*``
+instrumentation before diffing — the profiled runs must still match
+the profile-off baselines exactly (profiling never perturbs routing).
+``--overhead-budget PCT`` is the cost side of that contract: it
+interleaves profile-off and profile-counters runs and fails when the
+counters-mode wall exceeds off-mode by more than ``PCT`` percent
+(plus a 20 ms jitter floor — the gate circuits finish in tens of
+milliseconds).
 
 Baseline refresh procedure (after an *intentional* behavior change):
 run with ``--update``, eyeball ``git diff benchmarks/baselines/`` to
@@ -104,7 +116,10 @@ def baseline_path(circuit: str) -> pathlib.Path:
 
 
 def run_circuit(
-    circuit: str, workers: int = 1, engine: str = "object"
+    circuit: str,
+    workers: int = 1,
+    engine: str = "object",
+    profile: str = "off",
 ) -> Dict[str, FlowResult]:
     """Route one gate circuit with every router; flows keyed by label.
 
@@ -113,7 +128,7 @@ def run_circuit(
     audit the solutions.
     """
     scale = CIRCUITS[circuit]
-    config = RouterConfig(workers=workers, engine=engine)
+    config = RouterConfig(workers=workers, engine=engine, profile=profile)
     flows: Dict[str, FlowResult] = {}
     for label, router_cls in ROUTERS.items():
         design = mcnc_design(circuit, scale)
@@ -236,6 +251,79 @@ def engine_speedup(
     return failures
 
 
+#: Absolute slack added to the overhead budget: the gate circuits
+#: finish in tens of milliseconds, where OS timer jitter alone dwarfs
+#: any percentage budget.  20 ms keeps the check meaningful for the
+#: relative budget while refusing to flake on scheduler noise.
+OVERHEAD_NOISE_FLOOR_SECONDS = 0.02
+
+
+def overhead_budget(
+    circuit: str,
+    engine: str,
+    budget_pct: float,
+    repeat: int = 3,
+) -> List[str]:
+    """Profiling overhead gate: ``profile="counters"`` must be ~free.
+
+    Routes the circuit (stitch-aware flow, serial) with
+    ``profile="off"`` and ``profile="counters"`` interleaved ``repeat``
+    times each and compares the per-mode minimum walls: counters mode
+    must finish within ``budget_pct`` percent of off mode (plus the
+    absolute :data:`OVERHEAD_NOISE_FLOOR_SECONDS` slack).  Also proves
+    the instrumentation contract on the way: stripping the ``perf_*``
+    / ``stream_*`` counters from the counters-mode trace must recover
+    the off-mode counters exactly.
+    """
+    scale = CIRCUITS[circuit]
+    failures: List[str] = []
+    walls: Dict[str, List[float]] = {"off": [], "counters": []}
+    traces: Dict[str, RunTrace] = {}
+    for run in range(max(1, repeat)):
+        for mode in ("off", "counters"):
+            design = mcnc_design(circuit, scale)
+            config = RouterConfig(engine=engine, profile=mode)
+            flow = StitchAwareRouter(config=config).route(design)
+            assert flow.trace is not None
+            walls[mode].append(flow.trace.wall_seconds)
+            if run == 0:
+                traces[mode] = flow.trace
+
+    diff = diff_traces(
+        traces["off"],
+        strip_profile_counters(traces["counters"]),
+        DiffThresholds(include_wall=False),
+    )
+    if diff.ok:
+        print(f"{circuit}: counters-mode trace strips back to off-mode")
+    else:
+        print(render_diff(diff))
+        failures.extend(
+            f"{circuit}: profiling perturbed a counter: {line}"
+            for line in diff.regressions()
+        )
+
+    off_wall = min(walls["off"])
+    counters_wall = min(walls["counters"])
+    limit = off_wall * (1.0 + budget_pct / 100.0) + OVERHEAD_NOISE_FLOOR_SECONDS
+    overhead_pct = (
+        100.0 * (counters_wall - off_wall) / off_wall if off_wall > 0 else 0.0
+    )
+    print(
+        f"{circuit}: off {off_wall:.4f}s, counters {counters_wall:.4f}s "
+        f"({overhead_pct:+.1f}%, budget {budget_pct:g}% "
+        f"+ {OVERHEAD_NOISE_FLOOR_SECONDS:g}s noise floor, "
+        f"min of {len(walls['off'])} run(s), engine={engine})"
+    )
+    if counters_wall > limit:
+        failures.append(
+            f"{circuit}: profile='counters' wall {counters_wall:.4f}s "
+            f"exceeds budget {limit:.4f}s "
+            f"(off {off_wall:.4f}s + {budget_pct:g}%)"
+        )
+    return failures
+
+
 def traces_of(flows: Dict[str, FlowResult]) -> Dict[str, RunTrace]:
     """The ``label -> trace`` view of one circuit's flows."""
     traces: Dict[str, RunTrace] = {}
@@ -277,21 +365,19 @@ def audit_flows(circuit: str, flows: Dict[str, FlowResult]) -> List[str]:
     return failures
 
 
-def strip_parallel_counters(trace: RunTrace) -> RunTrace:
-    """A copy of ``trace`` without the ``parallel_*`` bookkeeping.
+def _strip_prefixed(trace: RunTrace, prefixes: tuple) -> RunTrace:
+    """A copy of ``trace`` without counters named under ``prefixes``.
 
-    The parallel engine's determinism contract covers the *routing*
-    counters (they match the serial run exactly — that is what the
-    differential suite proves); its own scheduling counters (batches,
-    conflicts, pooled tasks) have no serial counterpart, so a parallel
-    gate run strips them before diffing against the serial baseline.
+    The scrub runs over the serialized document (every span plus the
+    orphan counters) so the returned trace is exactly what a run that
+    never recorded those counters would have frozen.
     """
     doc = trace.to_dict()
 
     def scrub(span: dict) -> None:
         counters = span.get("counters")
         if counters:
-            for key in [k for k in counters if k.startswith("parallel_")]:
+            for key in [k for k in counters if k.startswith(prefixes)]:
                 del counters[key]
             if not counters:
                 del span["counters"]
@@ -303,9 +389,33 @@ def strip_parallel_counters(trace: RunTrace) -> RunTrace:
     doc["counters"] = {
         k: v
         for k, v in doc["counters"].items()
-        if not k.startswith("parallel_")
+        if not k.startswith(prefixes)
     }
     return RunTrace.from_dict(doc)
+
+
+def strip_parallel_counters(trace: RunTrace) -> RunTrace:
+    """A copy of ``trace`` without the ``parallel_*`` bookkeeping.
+
+    The parallel engine's determinism contract covers the *routing*
+    counters (they match the serial run exactly — that is what the
+    differential suite proves); its own scheduling counters (batches,
+    conflicts, pooled tasks) have no serial counterpart, so a parallel
+    gate run strips them before diffing against the serial baseline.
+    """
+    return _strip_prefixed(trace, ("parallel_",))
+
+
+def strip_profile_counters(trace: RunTrace) -> RunTrace:
+    """A copy of ``trace`` without ``perf_*`` / ``stream_*`` counters.
+
+    Profiling counters (``RouterConfig(profile=...)``) and the
+    streaming tracer's bookkeeping are observability instrumentation
+    by contract: stripping them must recover the exact counters of an
+    unprofiled run — which is what lets a profiled gate run diff
+    against the committed (profile-off) baselines.
+    """
+    return _strip_prefixed(trace, ("perf_", "stream_"))
 
 
 def save_traces(path: pathlib.Path, traces: Dict[str, RunTrace]) -> None:
@@ -434,17 +544,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="with --scale: route each engine N times (interleaved) and "
-        "record the minimum wall per engine; counters must agree "
-        "across every run",
+        help="with --scale / --overhead-budget: route each mode N times "
+        "(interleaved) and record the minimum wall per mode; counters "
+        "must agree across every run",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("off", "counters", "full"),
+        default="off",
+        help="route the gate circuits with this RouterConfig profile "
+        "level; perf_* / stream_* counters are stripped before "
+        "diffing, so the profiled runs must still match the "
+        "profile-off baselines exactly",
+    )
+    parser.add_argument(
+        "--overhead-budget",
+        type=float,
+        metavar="PCT",
+        help="switch to the profiling-overhead mode: route each circuit "
+        "with profile off and counters (interleaved, --repeat each), "
+        "require the stripped counters-mode trace to equal the "
+        "off-mode trace, and fail if the counters-mode wall exceeds "
+        "off by more than PCT%% (plus a 20 ms noise floor)",
     )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
     if args.update and args.workers > 1:
         parser.error("baselines are serial; refusing --update with --workers")
+    if args.update and args.profile != "off":
+        parser.error(
+            "baselines are profile-off; refusing --update with --profile"
+        )
     if args.scale is not None and args.scale <= 0:
         parser.error("--scale must be positive")
+    if args.overhead_budget is not None and args.overhead_budget <= 0:
+        parser.error("--overhead-budget must be positive")
+    if args.scale is not None and args.overhead_budget is not None:
+        parser.error("--scale and --overhead-budget are separate modes")
     if args.repeat < 1:
         parser.error("--repeat must be at least 1")
 
@@ -476,8 +613,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\nengine speedup run passed")
         return 0
 
+    if args.overhead_budget is not None:
+        for circuit in circuits:
+            failures.extend(
+                overhead_budget(
+                    circuit, args.engine, args.overhead_budget, args.repeat
+                )
+            )
+        if failures:
+            print(f"\noverhead budget run FAILED ({len(failures)}):")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("\noverhead budget run passed")
+        return 0
+
     for circuit in circuits:
-        flows = run_circuit(circuit, args.workers, args.engine)
+        flows = run_circuit(
+            circuit, args.workers, args.engine, args.profile
+        )
         traces = traces_of(flows)
         if not args.no_audit:
             failures.extend(audit_flows(circuit, flows))
@@ -508,6 +662,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"wrote {out}")
             traces = {
                 label: strip_parallel_counters(trace)
+                for label, trace in traces.items()
+            }
+        if args.profile != "off":
+            traces = {
+                label: strip_profile_counters(trace)
                 for label, trace in traces.items()
             }
         if args.snapshot_dir:

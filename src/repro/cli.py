@@ -10,7 +10,14 @@ Commands:
 * ``diag`` — route one circuit and print the per-stitch-line
   violation histogram (which line causes which #VV/#SP).
 * ``trace show|diff|top`` — summarize, compare, or hotspot-rank saved
-  trace JSONs (``--profile`` dumps, report files, or BENCH documents).
+  trace JSONs (``--profile`` dumps, report files, BENCH documents, or
+  ``.ndjson`` / ``.ndjson.gz`` event streams; ``.json.gz`` works too).
+* ``watch`` — tail a live ``--stream`` NDJSON file: per-stage
+  progress, nets/s and expansions/s rates, heartbeat gauges, hotspot
+  deltas, and the final hotspot ranking when the run finishes.
+* ``perf-history`` — roll the committed ``BENCH_*.json`` /
+  ``SPEEDUP_ENGINE_*.json`` / ``SPEEDUP_*.json`` artifacts into one
+  perf-trajectory report.
 * ``lint`` — run the determinism linter (rules DET001–DET005, see
   ``docs/static_analysis.md``) over source paths; exits nonzero on
   findings not grandfathered by the committed baseline.
@@ -23,7 +30,10 @@ Commands:
 * ``circuits`` — list the available benchmark circuits.
 
 ``route``, ``compare``, and ``diag`` accept ``--sanitize`` to route
-with the speculation-footprint sanitizer enabled.
+with the speculation-footprint sanitizer enabled, and ``--perf`` to
+enable the engine profiling counters (``counters``) or full live
+progress events (``full``); ``route --stream FILE`` streams the run's
+events to an NDJSON file that ``repro watch FILE`` can tail.
 
 ``-v`` / ``-vv`` (before the command) stream live span/round progress
 from the run through the :mod:`repro.observe.log` bridge.
@@ -33,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Optional
@@ -50,14 +61,17 @@ from .io import save_design, save_report
 from .observe import (
     DiffThresholds,
     LoggingTracer,
+    StreamingTracer,
     TraceSummary,
     Tracer,
+    collect_perf_history,
     configure_logging,
     diff_traces,
     hotspots,
     load_trace_file,
     render_diff,
     render_hotspots,
+    render_perf_history,
     render_summary,
 )
 from .reporting import format_table
@@ -75,7 +89,14 @@ def _get_design(name: str, scale: float):
 
 
 def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
-    """A logging tracer when ``-v`` was given, else let the flow decide."""
+    """The tracer a run subcommand should route with.
+
+    ``--stream FILE`` wins (live NDJSON events for ``repro watch``),
+    then ``-v`` (logging bridge), else let the flow decide.
+    """
+    stream = getattr(args, "stream", None)
+    if stream:
+        return StreamingTracer(stream)
     return LoggingTracer() if args.verbose else None
 
 
@@ -104,6 +125,7 @@ def _run_config(args: argparse.Namespace) -> RouterConfig:
         workers=args.workers,
         sanitize=getattr(args, "sanitize", False),
         engine=getattr(args, "engine", "auto"),
+        profile=getattr(args, "perf", "off"),
     )
 
 
@@ -324,6 +346,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         workers=args.workers,
         sanitize=getattr(args, "sanitize", False),
         engine=getattr(args, "engine", "auto"),
+        profile=getattr(args, "perf", "off"),
         audit=True,
     )
     router = (
@@ -349,6 +372,33 @@ def _cmd_trace_top(args: argparse.Namespace) -> int:
     fmt = "markdown" if args.markdown else "plain"
     print(render_hotspots(hotspots(trace, n=args.n), fmt=fmt))
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    # Imported here: the watcher is a pure observer the routing
+    # commands never need (and it pulls in polling machinery).
+    from .observe.watch import watch_stream
+
+    try:
+        return watch_stream(
+            args.stream,
+            follow=not args.no_follow,
+            poll_interval=args.interval,
+            timeout=args.timeout,
+        )
+    except FileNotFoundError:
+        print(f"repro watch: no such stream: {args.stream}", file=sys.stderr)
+        return 2
+    except (ValueError, TimeoutError) as error:
+        print(f"repro watch: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_perf_history(args: argparse.Namespace) -> int:
+    history = collect_perf_history(args.dir)
+    fmt = "markdown" if args.markdown else "plain"
+    print(render_perf_history(history, fmt=fmt))
+    return 0 if not history.empty else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -395,6 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
             "available; both produce byte-identical reports, see "
             "docs/performance.md)",
         )
+        p.add_argument(
+            "--perf",
+            choices=("off", "counters", "full"),
+            default="off",
+            help="engine profiling: 'counters' records perf_* engine "
+            "counters (heap traffic, overlay churn, cache refreshes) "
+            "in the trace, 'full' additionally emits per-net/per-task "
+            "progress events; 'off' is zero-cost and byte-identical "
+            "to the committed baselines (see docs/observability.md)",
+        )
 
     route = sub.add_parser("route", help="route one circuit")
     route.add_argument("circuit")
@@ -410,6 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
         const="trace.json",
         metavar="JSON",
         help="write the per-stage trace (default: trace.json)",
+    )
+    route.add_argument(
+        "--stream",
+        metavar="NDJSON",
+        help="append live trace events to this NDJSON file while the "
+        "run executes (.gz writes gzip); tail it with `repro watch`",
     )
     route.set_defaults(func=_cmd_route)
 
@@ -552,6 +618,49 @@ def build_parser() -> argparse.ArgumentParser:
     _trace_common(top)
     top.set_defaults(func=_cmd_trace_top)
 
+    watch = sub.add_parser(
+        "watch",
+        help="tail a live `route --stream` NDJSON file with progress, "
+        "rates, and hotspot deltas",
+    )
+    watch.add_argument("stream", help="the NDJSON stream file to tail")
+    watch.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="stop at the current end of file instead of tailing",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval while tailing (default 0.5)",
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up after this long without new events "
+        "(default: wait forever)",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    perf_history = sub.add_parser(
+        "perf-history",
+        help="perf-trajectory report from committed BENCH_*.json / "
+        "SPEEDUP_*.json artifacts",
+    )
+    perf_history.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding the artifacts (default: .)",
+    )
+    perf_history.add_argument(
+        "--markdown", action="store_true", help="render markdown tables"
+    )
+    perf_history.set_defaults(func=_cmd_perf_history)
+
     return parser
 
 
@@ -559,7 +668,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     """Entry point (also used by ``python -m repro``)."""
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout mid-print (watch and the
+        # table commands are routinely piped); exit quietly.  Redirect
+        # stdout so the interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -126,6 +126,16 @@ class RouterConfig:
             cross-checks the report's counters; it observes and
             reports but never alters the routing (see
             ``docs/static_analysis.md``).
+        profile: engine profiling level.  ``"off"`` (the default) keeps
+            the hot loops byte-identical to the committed baselines;
+            ``"counters"`` flushes low-overhead engine counters (heap
+            pushes/pops, overlay reads/writes, rip-up net visits,
+            cost-cache refreshes) into ``perf_*`` trace counters at
+            stage boundaries; ``"full"`` additionally emits per-net
+            ``progress`` events through the tracer (visible when the
+            tracer is a :class:`~repro.observe.StreamingTracer`).
+            ``perf_*`` counters are namespaced so identity gates strip
+            them (see ``docs/observability.md``).
 
     Stage-policy attributes (consumed by the router constructors; the
     ablation switches of Tables IV and VIII):
@@ -155,6 +165,7 @@ class RouterConfig:
     workers: int = 1
     sanitize: bool = False
     audit: bool = False
+    profile: str = "off"
     track_method: TrackMethod = TrackMethod.GRAPH
     coloring: ColoringMethod = ColoringMethod.FLOW
     stitch_aware_global: bool = True
@@ -199,6 +210,11 @@ class RouterConfig:
             raise ValueError(f"sanitize must be a bool, got {self.sanitize!r}")
         if not isinstance(self.audit, bool):
             raise ValueError(f"audit must be a bool, got {self.audit!r}")
+        if self.profile not in ("off", "counters", "full"):
+            raise ValueError(
+                "profile must be one of 'off', 'counters', 'full', "
+                f"got {self.profile!r}"
+            )
 
 
 DEFAULT_CONFIG = RouterConfig()

@@ -174,6 +174,7 @@ class StitchAwareRouter:
                 workers=config.workers,
                 sanitize=config.sanitize,
                 engine=engine,
+                profile=config.profile,
             ).route(d, tracer=tracer)
 
         def assign_stage(d: Design, global_result: GlobalRoutingResult):
@@ -201,6 +202,7 @@ class StitchAwareRouter:
                 workers=config.workers,
                 sanitize=config.sanitize,
                 engine=engine,
+                profile=config.profile,
             ).route(
                 d,
                 global_result.graph,
@@ -248,6 +250,9 @@ class StitchAwareRouter:
             # Only stamped when enabled so default-config traces stay
             # byte-compatible with the committed baselines.
             meta["audit"] = True
+        if config.profile != "off":
+            # Same compatibility rule as the audit stamp.
+            meta["profile"] = config.profile
         trace = tracer.finish(
             router=type(self).__name__,
             design=design.name,

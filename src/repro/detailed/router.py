@@ -110,6 +110,11 @@ class DetailedRouter:
             two produce byte-identical results (``docs/performance.md``);
             resolve ``"auto"`` with :func:`repro.config.resolve_engine`
             before constructing the router.
+        profile: ``"off"`` / ``"counters"`` / ``"full"``.  ``"counters"``
+            flushes engine-level ``perf_*`` counters (heap pushes/pops,
+            overlay node churn, rip-up net visits) at stage boundaries;
+            ``"full"`` additionally reports per-net commits through
+            :meth:`Tracer.progress` (see ``docs/observability.md``).
     """
 
     def __init__(
@@ -118,15 +123,22 @@ class DetailedRouter:
         workers: int = 1,
         sanitize: bool = False,
         engine: str = "object",
+        profile: str = "off",
     ) -> None:
         if engine not in ("object", "array"):
             raise ValueError(
                 f"engine must be 'object' or 'array', got {engine!r}"
             )
+        if profile not in ("off", "counters", "full"):
+            raise ValueError(
+                f"profile must be 'off', 'counters' or 'full', got {profile!r}"
+            )
         self.stitch_aware = stitch_aware
         self.workers = workers
         self.sanitize = sanitize
         self.engine = engine
+        self.profile = profile
+        self._profiling = profile != "off"
         #: A* search counters flushed into the tracer at stage end.
         self._search_stats: dict[str, float] = {}
 
@@ -151,7 +163,22 @@ class DetailedRouter:
         tracer = ensure(tracer)
         start = time.perf_counter()
         self._search_stats = {}
-        pool = BatchExecutor(self.workers) if self.workers > 1 else None
+        pool: Optional[BatchExecutor] = None
+        if self.workers > 1:
+            on_task = None
+            if self.profile == "full":
+                # Per-task fan-in: the executor reports completions on
+                # the calling (main) thread in submission order, so the
+                # stream stays canonically ordered.
+                def on_task(index: int, busy: float) -> None:
+                    tracer.progress(
+                        "task",
+                        stage="detailed",
+                        index=index,
+                        busy_seconds=round(busy, 6),
+                    )
+
+            pool = BatchExecutor(self.workers, on_task=on_task)
         try:
             return self._route(
                 design, graph, assignment, order_hint, tracer, pool, start
@@ -306,6 +333,8 @@ class DetailedRouter:
                     )
                     live.apply_to(grid, net.name)
                     written |= live.write_nodes
+                    if self._profiling:
+                        self._count_overlay(live)
                 else:
                     overlay.apply_to(grid, net.name)
                     written |= overlay.write_nodes
@@ -313,6 +342,8 @@ class DetailedRouter:
                         self._search_stats[name] = (
                             self._search_stats.get(name, 0) + value
                         )
+                    if self._profiling:
+                        self._count_overlay(overlay)
                 self._commit_first_pass(
                     grid, net, result, routed, failed, tracer
                 )
@@ -320,6 +351,16 @@ class DetailedRouter:
         span.count("parallel_conflicts", conflicts)
         span.gauge("parallel_max_batch_width", plan.max_width)
         span.gauge("parallel_mean_batch_width", round(plan.mean_width, 3))
+
+    def _count_overlay(self, overlay: GridOverlay) -> None:
+        """Accumulate ``perf_*`` node-churn counters for one overlay."""
+        stats = self._search_stats
+        for name, delta in (
+            ("perf_overlay_commits", 1),
+            ("perf_overlay_read_nodes", len(overlay.read_nodes)),
+            ("perf_overlay_write_nodes", len(overlay.write_nodes)),
+        ):
+            stats[name] = stats.get(name, 0) + delta
 
     def _connect_speculative(
         self,
@@ -382,6 +423,8 @@ class DetailedRouter:
             net=net, nodes=nodes, edges=edges, routed=ok
         )
         tracer.count("nets_attempted")
+        if self.profile == "full":
+            tracer.progress("net", stage="detailed", net=net.name, routed=ok)
         if not ok:
             failed.append(net.name)
         for victim in sorted(victims):
@@ -416,6 +459,11 @@ class DetailedRouter:
             queue = list(dict.fromkeys(failed))
             next_failed: list[str] = []
             tracer.count("ripup_rounds")
+            if self._profiling:
+                self._search_stats["perf_ripup_net_visits"] = (
+                    self._search_stats.get("perf_ripup_net_visits", 0)
+                    + len(queue)
+                )
             with tracer.span(
                 "ripup-round", round=round_index, queued=len(queue)
             ):
@@ -752,6 +800,7 @@ class DetailedRouter:
                         blocked=blocked,
                         foreign_penalty=penalty,
                         stats=stats,
+                        profile=self._profiling,
                     )
                     if path is not None:
                         break

@@ -25,6 +25,7 @@ def astar_connect(
     blocked: Optional[set[Node]] = None,
     foreign_penalty: Optional[float] = None,
     stats: Optional[dict[str, float]] = None,
+    profile: bool = False,
 ) -> Optional[list[Node]]:
     """Cheapest path from any source to any target inside ``window``.
 
@@ -41,6 +42,11 @@ def astar_connect(
             passable at this extra cost per node (negotiated rip-up).
         stats: mutable counter dict; ``astar_searches`` and
             ``astar_expansions`` are accumulated into it.
+        profile: additionally flush ``perf_heap_pushes`` /
+            ``perf_heap_pops`` into ``stats``.  The counts are kept as
+            plain local increments either way, so the flag costs one
+            branch per *search*, not per node — ``profile="off"`` runs
+            stay byte- and wall-identical.
 
     Returns:
         The node path from a source to a target, or ``None``.
@@ -70,6 +76,7 @@ def astar_connect(
             blocked=blocked,
             foreign_penalty=foreign_penalty,
             stats=stats,
+            profile=profile,
         )
     lo_x, lo_y, hi_x, hi_y = window
 
@@ -100,9 +107,12 @@ def astar_connect(
     ]
     heapq.heapify(heap)
     expansions = 0
+    pushes = len(heap)
+    pops = 0
     try:
         while heap:
             _, g, node = heapq.heappop(heap)
+            pops += 1
             if g > best_g.get(node, float("inf")):
                 continue
             if node in targets:
@@ -119,6 +129,7 @@ def astar_connect(
                 if candidate < best_g.get(succ, float("inf")) - 1e-12:
                     best_g[succ] = candidate
                     parent[succ] = node
+                    pushes += 1
                     heapq.heappush(
                         heap, (candidate + heuristic(succ), candidate, succ)
                     )
@@ -129,6 +140,11 @@ def astar_connect(
             stats["astar_expansions"] = (
                 stats.get("astar_expansions", 0) + expansions
             )
+            if profile:
+                stats["perf_heap_pushes"] = (
+                    stats.get("perf_heap_pushes", 0) + pushes
+                )
+                stats["perf_heap_pops"] = stats.get("perf_heap_pops", 0) + pops
 
 
 def _reconstruct(

@@ -119,6 +119,7 @@ class _IndexedSearchMixin:
         blocked: Optional[set[Node]] = None,
         foreign_penalty: Optional[float] = None,
         stats: Optional[dict[str, float]] = None,
+        profile: bool = False,
     ) -> Optional[list[Node]]:
         """Array-core twin of :func:`~repro.detailed.search.astar_connect`.
 
@@ -137,6 +138,13 @@ class _IndexedSearchMixin:
         the target test; relaxation keeps the ``1e-12`` slack.  All
         step costs replicate the reference association order, so every
         float compares equal bit for bit.
+
+        ``profile=True`` flushes ``perf_heap_pops`` / ``perf_heap_pushes``
+        into ``stats``.  Only pops are counted in the loop (one add per
+        expansion-candidate pop, unconditionally, so both modes run the
+        same instructions); pushes are derived exactly at flush time
+        from the heap invariant ``pushes == pops + len(heap)``, which
+        matches the reference loop's explicit push count bit for bit.
         """
         lo_x, lo_y, hi_x, hi_y = window
         weight = 1.3 * self.config.alpha
@@ -251,6 +259,7 @@ class _IndexedSearchMixin:
         heappush = heapq.heappush
         expansions = 0
         evals = 0
+        pops = 0
         try:
             if local_get is None and fp is None and blk is None:
                 # Specialized loop for the dominant case (~85% of the
@@ -270,6 +279,7 @@ class _IndexedSearchMixin:
                 free_step = self._free_step
                 while heap:
                     _f, g, si, hdx, hdy = heappop(heap)
+                    pops += 1
                     if g > best_g_get(si, _INF):
                         continue
                     if si in tgt:
@@ -488,6 +498,7 @@ class _IndexedSearchMixin:
 
             while heap:
                 _f, g, si, hdx, hdy = heappop(heap)
+                pops += 1
                 if g > best_g_get(si, _INF):
                     continue
                 if si in tgt:
@@ -794,6 +805,16 @@ class _IndexedSearchMixin:
                 stats["astar_expansions"] = (
                     stats.get("astar_expansions", 0) + expansions
                 )
+                if profile:
+                    # pushes == pops + len(heap) (heap invariant): the
+                    # derived value equals the reference loop's explicit
+                    # push count because the two loops are step-identical.
+                    stats["perf_heap_pushes"] = (
+                        stats.get("perf_heap_pushes", 0) + pops + len(heap)
+                    )
+                    stats["perf_heap_pops"] = (
+                        stats.get("perf_heap_pops", 0) + pops
+                    )
 
 
 class ArrayDetailedGrid(_IndexedSearchMixin, DetailedGrid):

@@ -59,6 +59,14 @@ class _CostCacheMixin:
     _v_cost: list[list[float]]
     _v_price: list[list[float]]
 
+    #: Profiling counters (``RouterConfig(profile=...)``): wholesale
+    #: cache rebuilds and entry-wise incremental updates.  Class-level
+    #: zeros; the first increment creates the instance attribute, so
+    #: snapshots (thread-local clones) count separately and the live
+    #: graph's totals are what the router reports at stage end.
+    perf_cache_refreshes = 0
+    perf_cache_updates = 0
+
     def refresh_cost_cache(self) -> None:
         """Rebuild every cache entry from the scalar reference kernels.
 
@@ -67,6 +75,7 @@ class _CostCacheMixin:
         back).  Entries come from the same functions the object engine
         calls per A* probe, so the cached floats are bit-identical.
         """
+        self.perf_cache_refreshes += 1
         graph = self._as_graph()
         nx, ny = self.nx, self.ny
         self._h_cost = [
@@ -89,6 +98,7 @@ class _CostCacheMixin:
     # -- demand mutators keep the caches fresh --------------------------
     def add_edge_demand(self, key: tuple[str, int, int], delta: int) -> None:
         super().add_edge_demand(key, delta)  # type: ignore[misc]
+        self.perf_cache_updates += 1
         kind, i, j = key
         cost = WL_WEIGHT + edge_cost_if_used(self._as_graph(), key)
         if kind == "h":
@@ -98,6 +108,7 @@ class _CostCacheMixin:
 
     def add_vertex_demand(self, tile: Tile, delta: int) -> None:
         super().add_vertex_demand(tile, delta)  # type: ignore[misc]
+        self.perf_cache_updates += 1
         i, j = tile
         self._v_price[i][j] = vertex_price(self._as_graph(), tile)
 
@@ -109,6 +120,7 @@ class _CostCacheMixin:
         window: tuple[int, int, int, int],
         stitch_aware: bool,
         stats: dict[str, float],
+        profile: bool = False,
     ) -> Optional[list[Tile]]:
         """Array-core twin of ``GlobalRouter._astar_in_window``.
 
@@ -144,11 +156,13 @@ class _CostCacheMixin:
         ]
         goal = -1
         expansions = 0
+        pops = 0
         best_get = best.get
         heappop = heapq.heappop
         heappush = heapq.heappush
         while heap:
             _f, g, state = heappop(heap)
+            pops += 1
             if g > best_get(state, _INF):
                 continue
             expansions += 1
@@ -239,6 +253,16 @@ class _CostCacheMixin:
                         ),
                     )
         stats["maze_expansions"] = stats.get("maze_expansions", 0) + expansions
+        if profile:
+            # pushes == pops + len(heap) (heap invariant — the seed
+            # entry counts as a push): matches the reference loop's
+            # explicit count because the loops are step-identical.
+            stats["perf_maze_heap_pushes"] = (
+                stats.get("perf_maze_heap_pushes", 0) + pops + len(heap)
+            )
+            stats["perf_maze_heap_pops"] = (
+                stats.get("perf_maze_heap_pops", 0) + pops
+            )
         if goal < 0:
             return None
         states = [goal]

@@ -111,6 +111,12 @@ class GlobalRouter:
             results (``docs/performance.md``); resolve ``"auto"`` with
             :func:`repro.config.resolve_engine` before constructing
             the router.
+        profile: ``"off"`` / ``"counters"`` / ``"full"``.  ``"counters"``
+            flushes engine-level ``perf_*`` counters (maze heap
+            pushes/pops, snapshot clones, cost-cache refreshes and
+            incremental updates) per pass and negotiation round;
+            ``"full"`` additionally reports per-net commits through
+            :meth:`Tracer.progress` (see ``docs/observability.md``).
     """
 
     def __init__(
@@ -121,10 +127,15 @@ class GlobalRouter:
         workers: int = 1,
         sanitize: bool = False,
         engine: str = "object",
+        profile: str = "off",
     ) -> None:
         if engine not in ("object", "array"):
             raise ValueError(
                 f"engine must be 'object' or 'array', got {engine!r}"
+            )
+        if profile not in ("off", "counters", "full"):
+            raise ValueError(
+                f"profile must be 'off', 'counters' or 'full', got {profile!r}"
             )
         self.stitch_aware = stitch_aware
         self.ripup_rounds = ripup_rounds
@@ -132,6 +143,9 @@ class GlobalRouter:
         self.workers = workers
         self.sanitize = sanitize
         self.engine = engine
+        self.profile = profile
+        self._profiling = profile != "off"
+        self._tracer: Optional[Tracer] = None
 
     # ------------------------------------------------------------------
     def route(
@@ -144,8 +158,24 @@ class GlobalRouter:
         edge/vertex overflow left after it (the Table IV quantities).
         """
         tracer = ensure(tracer)
+        self._tracer = tracer if self.profile == "full" else None
         start = time.perf_counter()
-        pool = BatchExecutor(self.workers) if self.workers > 1 else None
+        pool: Optional[BatchExecutor] = None
+        if self.workers > 1:
+            on_task = None
+            if self.profile == "full":
+                # Per-task fan-in: the executor reports completions on
+                # the calling (main) thread in submission order, so the
+                # stream stays canonically ordered.
+                def on_task(index: int, busy: float) -> None:
+                    tracer.progress(
+                        "task",
+                        stage="global",
+                        index=index,
+                        busy_seconds=round(busy, 6),
+                    )
+
+            pool = BatchExecutor(self.workers, on_task=on_task)
         try:
             with tracer.span("global-route") as stage:
                 with tracer.span("graph-build"):
@@ -167,7 +197,7 @@ class GlobalRouter:
                     span.count(
                         "maze_expansions", stats.get("maze_expansions", 0)
                     )
-                    self._flush_sanitize_counters(span, stats)
+                    self._flush_stage_counters(span, stats)
                     span.count("nets_routed", len(routes))
                     span.gauge("edge_overflow", graph.edge_overflow())
                     span.gauge(
@@ -195,7 +225,7 @@ class GlobalRouter:
                         span.count(
                             "maze_expansions", stats.get("maze_expansions", 0)
                         )
-                        self._flush_sanitize_counters(span, stats)
+                        self._flush_stage_counters(span, stats)
                         span.count("ripup_victims", len(victims))
                         span.gauge("edge_overflow", graph.edge_overflow())
                         span.gauge(
@@ -211,7 +241,18 @@ class GlobalRouter:
                     stage.gauge(
                         "worker_utilization", round(pool.utilization(), 4)
                     )
+                if self._profiling:
+                    # Cost-cache churn lives on the array graph (the
+                    # object engine has no caches — counters absent).
+                    refreshes = getattr(graph, "perf_cache_refreshes", None)
+                    if refreshes is not None:
+                        stage.count("perf_cache_refreshes", refreshes)
+                        stage.count(
+                            "perf_cache_updates",
+                            getattr(graph, "perf_cache_updates", 0),
+                        )
         finally:
+            self._tracer = None
             if pool is not None:
                 pool.shutdown()
 
@@ -224,10 +265,14 @@ class GlobalRouter:
         )
 
     @staticmethod
-    def _flush_sanitize_counters(span: Span, stats: dict[str, float]) -> None:
-        """Report accumulated sanitizer check counters on ``span``."""
+    def _flush_stage_counters(span: Span, stats: dict[str, float]) -> None:
+        """Report accumulated sanitizer/profiling counters on ``span``.
+
+        Flushed (and zeroed) per pass and per negotiation round, so the
+        ``perf_*`` engine counters land on the round that incurred them.
+        """
         for name in sorted(stats):
-            if name.startswith("sanitize_"):
+            if name.startswith(("sanitize_", "perf_")):
                 span.count(name, stats[name])
                 stats[name] = 0
 
@@ -256,7 +301,15 @@ class GlobalRouter:
         """
         if pool is None or len(nets) < 2:
             for net in nets:
-                self._commit(routes, failed, net, self._route_net(graph, net, stats))
+                route = self._route_net(graph, net, stats)
+                self._commit(routes, failed, net, route)
+                if self._tracer is not None:
+                    self._tracer.progress(
+                        "net",
+                        stage="global",
+                        net=net.name,
+                        routed=route is not None,
+                    )
             return
 
         plan = plan_batches(
@@ -275,6 +328,12 @@ class GlobalRouter:
             results = pool.run(
                 lambda net: self._route_speculative(graph, net), batch
             )
+            if self._profiling:
+                # One demand snapshot per speculative net (counted on
+                # the main thread; workers never touch shared stats).
+                stats["perf_snapshot_clones"] = (
+                    stats.get("perf_snapshot_clones", 0) + len(batch)
+                )
             written: set = set()
             for net, (route, net_stats, windows) in zip(batch, results):
                 if windows_hit(windows, written):
@@ -291,6 +350,13 @@ class GlobalRouter:
                 if route is not None:
                     written.update(t for p in route.paths for t in p)
                 self._commit(routes, failed, net, route)
+                if self._tracer is not None:
+                    self._tracer.progress(
+                        "net",
+                        stage="global",
+                        net=net.name,
+                        routed=route is not None,
+                    )
         span.count("parallel_batches", len(plan))
         span.count("parallel_conflicts", conflicts)
         span.gauge("parallel_max_batch_width", plan.max_width)
@@ -482,7 +548,9 @@ class GlobalRouter:
             # caches, byte-identical result and counters.  Sanitized
             # snapshots expose no astar_in_window, so instrumented runs
             # fall through to the reference loop below.
-            return fast(src, dst, window, self.stitch_aware, stats)
+            return fast(
+                src, dst, window, self.stitch_aware, stats, self._profiling
+            )
 
         def heuristic(t: Tile) -> float:
             return WL_WEIGHT * (abs(t[0] - dst[0]) + abs(t[1] - dst[1]))
@@ -496,8 +564,10 @@ class GlobalRouter:
         ]
         goal: Optional[tuple[Tile, str]] = None
         expansions = 0
+        pops = 0
         while heap:
             _, g, state = heapq.heappop(heap)
+            pops += 1
             if g > best.get(state, float("inf")):
                 continue
             expansions += 1
@@ -530,6 +600,15 @@ class GlobalRouter:
                         heap, (candidate + heuristic(succ), candidate, succ_state)
                     )
         stats["maze_expansions"] = stats.get("maze_expansions", 0) + expansions
+        if self._profiling:
+            # pushes == pops + len(heap) (heap invariant — the seed
+            # entry counts as a push), so one add per pop suffices.
+            stats["perf_maze_heap_pushes"] = (
+                stats.get("perf_maze_heap_pushes", 0) + pops + len(heap)
+            )
+            stats["perf_maze_heap_pops"] = (
+                stats.get("perf_maze_heap_pops", 0) + pops
+            )
         if goal is None:
             return None
         return self._reconstruct(parent, start, goal)

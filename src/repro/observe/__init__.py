@@ -5,8 +5,11 @@ here, so per-stage behavior (Tables III–VIII of the paper) is
 measurable instead of being folded into one CPU number.  On top of the
 recording layer (:mod:`~repro.observe.tracer`) sit the consumers:
 :mod:`~repro.observe.analytics` rolls traces up, diffs them against
-baselines and extracts hotspots, and :mod:`~repro.observe.log` mirrors
-trace events into stdlib logging for live progress.
+baselines and extracts hotspots, :mod:`~repro.observe.log` mirrors
+trace events into stdlib logging for live progress, and
+:mod:`~repro.observe.stream` streams events to an NDJSON sink *while
+the run executes* (tailed by ``repro watch``) and replays finished
+streams back into byte-identical :class:`RunTrace` documents.
 
 Flows run with ``RouterConfig(audit=True)`` add an ``audit`` span
 whose ``audit_nets_checked`` / ``audit_findings`` / ``audit_drift``
@@ -18,21 +21,34 @@ from .analytics import (
     CounterDelta,
     DiffThresholds,
     Hotspot,
+    PerfHistory,
     StageStats,
     TimingDelta,
     TraceDiff,
     TraceSummary,
+    collect_perf_history,
     diff_traces,
     hotspots,
     load_trace_file,
     render_diff,
     render_hotspots,
+    render_perf_history,
     render_summary,
 )
 from .log import (
     TRACE_LOGGER_NAME,
     LoggingTracer,
     configure_logging,
+)
+from .stream import (
+    STREAM_FORMAT,
+    STREAM_SUFFIXES,
+    STREAM_VERSION,
+    StreamingTracer,
+    StreamReplayer,
+    iter_stream_events,
+    read_stream,
+    read_stream_text,
 )
 from .tracer import (
     TRACE_FORMAT,
@@ -42,8 +58,16 @@ from .tracer import (
     Tracer,
     ensure,
 )
+from .watch import (
+    StreamWatcher,
+    follow_events,
+    watch_stream,
+)
 
 __all__ = [
+    "STREAM_FORMAT",
+    "STREAM_SUFFIXES",
+    "STREAM_VERSION",
     "TRACE_FORMAT",
     "TRACE_LOGGER_NAME",
     "TRACE_VERSION",
@@ -51,19 +75,30 @@ __all__ = [
     "DiffThresholds",
     "Hotspot",
     "LoggingTracer",
+    "PerfHistory",
     "RunTrace",
     "Span",
     "StageStats",
+    "StreamReplayer",
+    "StreamWatcher",
+    "StreamingTracer",
     "TimingDelta",
     "TraceDiff",
     "TraceSummary",
     "Tracer",
+    "collect_perf_history",
     "configure_logging",
     "diff_traces",
     "ensure",
+    "follow_events",
     "hotspots",
+    "iter_stream_events",
     "load_trace_file",
+    "read_stream",
+    "read_stream_text",
     "render_diff",
     "render_hotspots",
+    "render_perf_history",
     "render_summary",
+    "watch_stream",
 ]

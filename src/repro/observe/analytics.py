@@ -428,15 +428,32 @@ def _kv_text(mapping: dict[str, Number]) -> str:
 # Loading
 # ----------------------------------------------------------------------
 def load_trace_file(path: PathLike, key: Optional[str] = None) -> RunTrace:
-    """Load a trace from any of the JSON documents the repo produces.
+    """Load a trace from any of the documents the repo produces.
 
     Accepts a bare ``repro-trace`` document (``RunTrace.save``), a
     ``repro-report`` document with an embedded trace
-    (``repro.io.save_report``), or a ``BENCH_*.json`` mapping of
-    ``label -> trace`` (``benchmarks/common.py``); for the latter pass
-    ``key`` to pick the label (optional when there is exactly one).
+    (``repro.io.save_report``), a ``BENCH_*.json`` mapping of
+    ``label -> trace`` (``benchmarks/common.py``) — for the latter pass
+    ``key`` to pick the label (optional when there is exactly one) —
+    or an NDJSON event stream (``.ndjson``), replayed into the trace
+    its run finished with.  Any of these may be gzip-compressed
+    (``.gz`` suffix); ``trace show/diff/top`` auto-detect through this
+    loader.
     """
-    data = json.loads(pathlib.Path(path).read_text())
+    name = pathlib.Path(path).name
+    if name.endswith((".ndjson", ".ndjson.gz")):
+        # Deferred import: stream.py imports nothing from here, but
+        # keeping analytics import-light preserves the layering.
+        from .stream import read_stream
+
+        return read_stream(path)
+    if name.endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            data = json.load(fh)
+    else:
+        data = json.loads(pathlib.Path(path).read_text())
     fmt = data.get("format") if isinstance(data, dict) else None
     if fmt == "repro-trace":
         return RunTrace.from_dict(data)
@@ -459,3 +476,168 @@ def load_trace_file(path: PathLike, key: Optional[str] = None) -> RunTrace:
             raise ValueError(f"no trace {key!r} in {path} ({sorted(data)})")
         return RunTrace.from_dict(data[key])
     raise ValueError(f"{path} is not a trace, report, or BENCH document")
+
+
+# ----------------------------------------------------------------------
+# Perf history (committed benchmark artifacts -> trajectory report)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class PerfHistory:
+    """Perf-trajectory rollup of a directory of benchmark artifacts.
+
+    Built by :func:`collect_perf_history` from the committed
+    ``BENCH_<circuit>.json`` snapshots (per-router traces),
+    ``SPEEDUP_ENGINE_<circuit>.json`` (object vs. array engine walls)
+    and ``SPEEDUP_<circuit>.json`` (serial vs. workers walls).
+
+    Attributes:
+        directory: where the artifacts were collected from.
+        bench_rows: one row per circuit x router label with wall/CPU
+            seconds, stage walls and the deterministic work counters.
+        engine_rows: one row per engine-speedup artifact.
+        workers_rows: one row per circuit x router label of a
+            workers-speedup artifact.
+    """
+
+    directory: str
+    bench_rows: list[dict]
+    engine_rows: list[dict]
+    workers_rows: list[dict]
+
+    @property
+    def empty(self) -> bool:
+        """Whether no artifact of any kind was found."""
+        return not (self.bench_rows or self.engine_rows or self.workers_rows)
+
+
+#: Deterministic whole-run counters worth tracking over time.
+_HISTORY_COUNTERS = (
+    "maze_expansions",
+    "astar_searches",
+    "astar_expansions",
+    "ripup_rounds",
+    "failed_nets",
+)
+
+
+def collect_perf_history(directory: PathLike) -> PerfHistory:
+    """Ingest the benchmark artifacts of ``directory`` into a rollup.
+
+    Files that do not parse as their expected schema are skipped (the
+    directory may hold unrelated JSON); artifact sets may be partially
+    present — an empty rollup is reported, not an error.
+    """
+    root = pathlib.Path(directory)
+    bench_rows: list[dict] = []
+    engine_rows: list[dict] = []
+    workers_rows: list[dict] = []
+
+    for path in sorted(root.glob("BENCH_*.json")):
+        circuit = path.stem[len("BENCH_"):]
+        try:
+            data = json.loads(path.read_text())
+            traces = {
+                label: RunTrace.from_dict(doc)
+                for label, doc in sorted(data.items())
+            }
+        except (ValueError, KeyError, AttributeError):
+            continue
+        for label, trace in traces.items():
+            stages = TraceSummary.from_trace(trace).stages
+            counters = trace.aggregate_counters()
+            row = {
+                "circuit": circuit,
+                "router": label,
+                "wall_s": round(trace.wall_seconds, 3),
+                "cpu_s": round(trace.cpu_seconds, 3),
+                "global_s": round(
+                    stages["global-route"].wall_seconds
+                    if "global-route" in stages else 0.0, 3
+                ),
+                "detail_s": round(
+                    stages["detailed-route"].wall_seconds
+                    if "detailed-route" in stages else 0.0, 3
+                ),
+            }
+            for name in _HISTORY_COUNTERS:
+                row[name] = counters.get(name, 0)
+            bench_rows.append(row)
+
+    for path in sorted(root.glob("SPEEDUP_ENGINE_*.json")):
+        try:
+            data = json.loads(path.read_text())
+            engine_rows.append(
+                {
+                    "circuit": data["circuit"],
+                    "scale": data.get("scale", ""),
+                    "object_s": data["object_wall_seconds"],
+                    "array_s": data["array_wall_seconds"],
+                    "speedup": data["speedup"],
+                    "repeats": data.get("repeats", ""),
+                }
+            )
+        except (ValueError, KeyError, TypeError):
+            continue
+
+    for path in sorted(root.glob("SPEEDUP_*.json")):
+        if path.name.startswith("SPEEDUP_ENGINE_"):
+            continue
+        circuit = path.stem[len("SPEEDUP_"):]
+        try:
+            data = json.loads(path.read_text())
+            for label, entry in sorted(data.items()):
+                workers_rows.append(
+                    {
+                        "circuit": circuit,
+                        "router": label,
+                        "serial_s": entry["serial_wall_seconds"],
+                        "parallel_s": entry["parallel_wall_seconds"],
+                        "workers": entry["workers"],
+                        "engine": entry.get("engine", ""),
+                        "speedup": entry["speedup"],
+                    }
+                )
+        except (ValueError, KeyError, TypeError, AttributeError):
+            continue
+
+    return PerfHistory(
+        directory=str(root),
+        bench_rows=bench_rows,
+        engine_rows=engine_rows,
+        workers_rows=workers_rows,
+    )
+
+
+def render_perf_history(history: PerfHistory, fmt: str = "plain") -> str:
+    """Table view of a :class:`PerfHistory` (``plain`` or ``markdown``)."""
+    if history.empty:
+        return f"no benchmark artifacts under {history.directory}"
+    sections: list[str] = []
+    if history.bench_rows:
+        columns = ["circuit", "router", "wall_s", "cpu_s", "global_s",
+                   "detail_s", *_HISTORY_COUNTERS]
+        sections.append(
+            _render_rows(
+                history.bench_rows, columns,
+                f"benchmark snapshots ({history.directory})", fmt, decimals=3,
+            )
+        )
+    if history.engine_rows:
+        columns = ["circuit", "scale", "object_s", "array_s", "speedup",
+                   "repeats"]
+        sections.append(
+            _render_rows(
+                history.engine_rows, columns,
+                "engine speedups (object vs array)", fmt, decimals=3,
+            )
+        )
+    if history.workers_rows:
+        columns = ["circuit", "router", "serial_s", "parallel_s", "workers",
+                   "engine", "speedup"]
+        sections.append(
+            _render_rows(
+                history.workers_rows, columns,
+                "workers speedups (serial vs parallel)", fmt, decimals=3,
+            )
+        )
+    return "\n\n".join(sections)

@@ -275,6 +275,16 @@ class Tracer:
         else:
             self.counters[name] = value
 
+    def progress(self, kind: str, **fields: object) -> None:
+        """Report transient progress (per-net commits, task completions).
+
+        Progress events never enter the frozen :class:`RunTrace` — they
+        exist for live consumers, so the base tracer discards them.
+        :class:`~repro.observe.StreamingTracer` overrides this to emit
+        a ``progress`` stream event.  Stages only call it under
+        ``RouterConfig(profile="full")``; see ``docs/observability.md``.
+        """
+
     # -- finalization --------------------------------------------------
     def finish(
         self,

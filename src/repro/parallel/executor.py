@@ -32,12 +32,26 @@ class BatchExecutor:
     Args:
         workers: pool size; must be at least 2 (``workers=1`` callers
             must keep the serial code path and never build a pool).
+        on_task: optional per-task completion hook, called as
+            ``on_task(task_index, busy_seconds)`` *on the calling
+            thread* after each pooled batch resolves, in submission
+            order — the canonical fan-in point for live-progress
+            consumers (:meth:`~repro.observe.Tracer.progress`), which
+            must never be reached from worker threads.  ``task_index``
+            is the global dispatch index (continues across batches).
+            Inline single-item batches bypass the hook, exactly as they
+            bypass the pool's task accounting.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        on_task: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
         if workers < 2:
             raise ValueError(f"BatchExecutor needs workers >= 2, got {workers}")
         self.workers = workers
+        self.on_task = on_task
         self._pool: Optional[ThreadPoolExecutor] = None
         #: Tasks dispatched through the pool (width-1 batches bypass it).
         self.tasks = 0
@@ -92,10 +106,14 @@ class BatchExecutor:
             for f in futures:
                 f.cancel()
         batch_wall = time.perf_counter() - batch_start
+        base_index = self.tasks
         self.batches += 1
         self.tasks += len(items)
         self.busy_seconds += sum(busy for _, busy in timed_results)
         self.capacity_seconds += self.workers * batch_wall
+        if self.on_task is not None:
+            for offset, (_, busy) in enumerate(timed_results):
+                self.on_task(base_index + offset, busy)
         return [result for result, _ in timed_results]
 
     # ------------------------------------------------------------------

@@ -94,3 +94,50 @@ def test_auto_engine_resolves_to_array_when_numpy_present():
     pytest.importorskip("numpy")
     flow = route_flow("S9234", 0.02, engine="auto")
     assert flow.trace.meta["engine"] == "array"
+
+
+class TestProfiledEquivalence:
+    """The contract survives profiling: perf_* counters are additive.
+
+    ``RouterConfig(profile="counters")`` instruments both engines; the
+    differential promise extends to it in two parts — the routing
+    counters still match exactly (strip ``perf_*``, mirroring the
+    ``parallel_*`` stripping above), and the ``perf_*`` counters the
+    engines share (heap traffic is step-identical by construction)
+    must agree with each other too.
+    """
+
+    def test_profiled_reports_byte_identical(self):
+        obj = route_flow("S9234", 0.02, engine="object", profile="counters")
+        arr = route_flow("S9234", 0.02, engine="array", profile="counters")
+        assert canonical_report(obj) == canonical_report(arr)
+        assert obj.trace.meta["profile"] == "counters"
+        for name in (
+            "perf_maze_heap_pushes",
+            "perf_maze_heap_pops",
+            "perf_heap_pushes",
+            "perf_heap_pops",
+        ):
+            assert (
+                obj.trace.aggregate_counters()[name]
+                == arr.trace.aggregate_counters()[name]
+            ), name
+
+    def test_profiled_routing_counters_match_unprofiled(self):
+        plain = route_flow("S5378", 0.02, engine="array")
+        profiled = route_flow(
+            "S5378", 0.02, engine="array", profile="counters"
+        )
+        routing = {
+            k: v
+            for k, v in profiled.trace.aggregate_counters().items()
+            if not k.startswith("perf_")
+        }
+        assert routing == plain.trace.aggregate_counters()
+
+    def test_full_profile_keeps_byte_identity(self):
+        obj = route_flow("S5378", 0.02, engine="object", profile="full")
+        arr = route_flow(
+            "S5378", 0.02, engine="array", workers=4, profile="full"
+        )
+        assert canonical_report(obj) == canonical_report(arr)

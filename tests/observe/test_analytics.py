@@ -1,6 +1,7 @@
 """Trace analytics: rollups, diffing, hotspots, loading, rendering."""
 
 import copy
+import gzip
 import json
 import pathlib
 
@@ -10,13 +11,16 @@ from repro.observe import (
     DiffThresholds,
     RunTrace,
     Span,
+    StreamingTracer,
     TraceSummary,
     Tracer,
+    collect_perf_history,
     diff_traces,
     hotspots,
     load_trace_file,
     render_diff,
     render_hotspots,
+    render_perf_history,
     render_summary,
 )
 
@@ -269,3 +273,117 @@ class TestLoadTraceFile:
         path.write_text('{"hello": 1}')
         with pytest.raises(ValueError, match="not a trace"):
             load_trace_file(path)
+
+    def test_gzip_compressed_trace(self, tmp_path):
+        path = tmp_path / "t.json.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(make_trace().to_json())
+        assert load_trace_file(path).design == "toy"
+
+    def test_gzip_compressed_bench_document(self, tmp_path):
+        doc = {"stitch-aware": make_trace(maze=7).to_dict()}
+        path = tmp_path / "BENCH_toy.json.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc))
+        trace = load_trace_file(path, key="stitch-aware")
+        assert trace.aggregate_counters()["maze_expansions"] == 7
+
+    @pytest.mark.parametrize("name", ["run.ndjson", "run.ndjson.gz"])
+    def test_event_stream_files(self, tmp_path, name):
+        path = tmp_path / name
+        tracer = StreamingTracer(path)
+        with tracer.span("pass1") as span:
+            span.count("maze_expansions", 5)
+        streamed = tracer.finish(router="R", design="streamed-toy")
+        loaded = load_trace_file(path)
+        assert loaded.design == "streamed-toy"
+        assert loaded.to_json() == streamed.to_json()
+
+
+def write_artifacts(root, make_trace_fn=None):
+    """A small artifact directory in the committed schemas."""
+    make = make_trace_fn or make_trace
+    bench = {
+        "baseline": make(maze=200).to_dict(),
+        "stitch-aware": make(maze=100).to_dict(),
+    }
+    (root / "BENCH_S9234.json").write_text(json.dumps(bench))
+    (root / "SPEEDUP_ENGINE_S9234.json").write_text(
+        json.dumps(
+            {
+                "circuit": "S9234",
+                "scale": 0.2,
+                "scale_multiplier": 10.0,
+                "object_wall_seconds": 2.0,
+                "array_wall_seconds": 1.0,
+                "repeats": 3,
+                "speedup": 2.0,
+            }
+        )
+    )
+    (root / "SPEEDUP_S9234.json").write_text(
+        json.dumps(
+            {
+                "stitch-aware": {
+                    "serial_wall_seconds": 1.0,
+                    "parallel_wall_seconds": 0.5,
+                    "workers": 4,
+                    "engine": "object",
+                    "speedup": 2.0,
+                }
+            }
+        )
+    )
+
+
+class TestPerfHistory:
+    def test_collects_all_three_artifact_kinds(self, tmp_path):
+        write_artifacts(tmp_path)
+        history = collect_perf_history(tmp_path)
+        assert not history.empty
+        assert {r["router"] for r in history.bench_rows} == {
+            "baseline", "stitch-aware",
+        }
+        aware = next(
+            r for r in history.bench_rows if r["router"] == "stitch-aware"
+        )
+        assert aware["maze_expansions"] == 100
+        assert aware["detail_s"] == 1.0
+        (engine_row,) = history.engine_rows
+        assert engine_row["speedup"] == 2.0
+        (workers_row,) = history.workers_rows
+        assert workers_row["workers"] == 4
+
+    def test_unparseable_and_unrelated_json_skipped(self, tmp_path):
+        write_artifacts(tmp_path)
+        (tmp_path / "BENCH_garbage.json").write_text('{"x": 1}')
+        (tmp_path / "SPEEDUP_ENGINE_bad.json").write_text("[]")
+        (tmp_path / "SPEEDUP_bad.json").write_text('{"label": {}}')
+        (tmp_path / "unrelated.json").write_text("{}")
+        history = collect_perf_history(tmp_path)
+        assert {r["circuit"] for r in history.bench_rows} == {"S9234"}
+        assert len(history.engine_rows) == 1
+        assert len(history.workers_rows) == 1
+
+    def test_empty_directory_reports_empty(self, tmp_path):
+        history = collect_perf_history(tmp_path)
+        assert history.empty
+        assert "no benchmark artifacts" in render_perf_history(history)
+
+    def test_render_plain_and_markdown(self, tmp_path):
+        write_artifacts(tmp_path)
+        history = collect_perf_history(tmp_path)
+        plain = render_perf_history(history)
+        assert "benchmark snapshots" in plain
+        assert "engine speedups" in plain
+        assert "workers speedups" in plain
+        md = render_perf_history(history, fmt="markdown")
+        assert md.count("|") > 20
+
+    def test_committed_repo_artifacts_ingest(self):
+        """The real committed artifacts must parse, forever."""
+        root = pathlib.Path(__file__).parents[2]
+        history = collect_perf_history(root)
+        circuits = {r["circuit"] for r in history.bench_rows}
+        assert {"S9234", "S5378", "S13207"} <= circuits
+        assert history.engine_rows  # committed SPEEDUP_ENGINE_*.json

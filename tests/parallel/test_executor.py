@@ -64,6 +64,44 @@ class TestRun:
             pool.run(boom, [1, 2, 3])
 
 
+class TestOnTaskHook:
+    def test_called_on_calling_thread_in_submission_order(self):
+        calls = []
+        caller = threading.current_thread().name
+
+        def on_task(index, busy):
+            calls.append((index, busy, threading.current_thread().name))
+
+        with BatchExecutor(4, on_task=on_task) as pool:
+            delays = [0.03, 0.0, 0.02, 0.01]
+            pool.run(lambda i: time.sleep(delays[i]), [0, 1, 2, 3])
+        # Submission order, regardless of completion order.
+        assert [c[0] for c in calls] == [0, 1, 2, 3]
+        assert all(c[2] == caller for c in calls)
+        assert all(c[1] >= 0.0 for c in calls)
+
+    def test_global_index_continues_across_batches(self):
+        indices = []
+        with BatchExecutor(2, on_task=lambda i, b: indices.append(i)) as pool:
+            pool.run(lambda x: x, [1, 2, 3])
+            pool.run(lambda x: x, [4, 5])
+        assert indices == [0, 1, 2, 3, 4]
+
+    def test_inline_single_item_batches_bypass_hook(self):
+        calls = []
+        with BatchExecutor(2, on_task=lambda i, b: calls.append(i)) as pool:
+            pool.run(lambda x: x, [1])
+            pool.run(lambda x: x, [2, 3])
+        # The width-1 batch bypassed the pool and the hook alike; the
+        # pooled batch still numbers its tasks from zero.
+        assert calls == [0, 1]
+
+    def test_default_is_no_hook(self):
+        with BatchExecutor(2) as pool:
+            assert pool.on_task is None
+            assert pool.run(lambda x: x + 1, [1, 2]) == [2, 3]
+
+
 class TestAccounting:
     def test_utilization_bounds(self):
         pool = BatchExecutor(2)

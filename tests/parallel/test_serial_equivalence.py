@@ -26,10 +26,12 @@ from repro.parallel import BatchPlan
 CIRCUITS = {"S9234": 0.02, "S5378": 0.02, "S13207": 0.02}
 
 
-def route_report(circuit, scale, workers):
+def route_report(circuit, scale, workers, profile="off"):
     """Serialized report + finished trace for one run."""
     design = mcnc_design(circuit, scale)
-    router = StitchAwareRouter(config=RouterConfig(workers=workers))
+    router = StitchAwareRouter(
+        config=RouterConfig(workers=workers, profile=profile)
+    )
     flow = router.route(design)
     doc = report_to_dict(flow.report)
     # Wall times are the only sanctioned nondeterminism.
@@ -50,6 +52,20 @@ def assert_counters_match(serial_trace, parallel_trace):
         k: v for k, v in parallel.items() if not k.startswith("parallel_")
     }
     assert routing == serial
+
+
+def strip_instrumentation(counters):
+    """Drop the scheduling and profiling bookkeeping counters.
+
+    ``parallel_*`` has no serial counterpart and ``perf_*`` includes
+    overlay/snapshot accounting only parallel runs produce — the
+    routing counters underneath must match exactly.
+    """
+    return {
+        k: v
+        for k, v in counters.items()
+        if not k.startswith(("parallel_", "perf_", "stream_"))
+    }
 
 
 @pytest.mark.parametrize("circuit", sorted(CIRCUITS))
@@ -76,6 +92,32 @@ class TestWorkerCountInvariance:
         for workers in (2, 8):
             doc, _ = route_report("S9234", 0.02, workers=workers)
             assert canonical(doc) == canonical(serial_doc)
+
+
+class TestProfiledEquivalence:
+    """The serial-equivalence contract survives profiling.
+
+    ``RouterConfig(profile=...)`` adds ``perf_*`` counters (and, under
+    ``full``, streams progress events); the routing counters and the
+    serialized report must stay byte-identical to the unprofiled
+    serial run — profiling observes, never perturbs.
+    """
+
+    @pytest.mark.parametrize("profile", ["counters", "full"])
+    def test_profiled_parallel_equals_plain_serial(self, profile):
+        serial_doc, serial_trace = route_report("S9234", 0.02, workers=1)
+        doc, trace = route_report(
+            "S9234", 0.02, workers=4, profile=profile
+        )
+        assert canonical(doc) == canonical(serial_doc)
+        assert strip_instrumentation(
+            trace.aggregate_counters()
+        ) == strip_instrumentation(serial_trace.aggregate_counters())
+
+    def test_profiled_parallel_counts_overlay_traffic(self):
+        _, trace = route_report("S9234", 0.02, workers=4, profile="counters")
+        counters = trace.aggregate_counters()
+        assert counters.get("perf_overlay_commits", 0) > 0
 
 
 class TestForcedConflicts:

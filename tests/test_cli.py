@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -26,6 +27,24 @@ class TestParser:
     def test_trace_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
+
+    def test_perf_flag_defaults_off_and_validates(self):
+        assert build_parser().parse_args(["route", "S5378"]).perf == "off"
+        args = build_parser().parse_args(
+            ["route", "S5378", "--perf", "counters"]
+        )
+        assert args.perf == "counters"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "S5378", "--perf", "loud"])
+
+    def test_watch_and_perf_history_parse(self):
+        args = build_parser().parse_args(
+            ["watch", "run.ndjson", "--no-follow", "--timeout", "5"]
+        )
+        assert args.stream == "run.ndjson"
+        assert args.no_follow and args.timeout == 5.0
+        args = build_parser().parse_args(["perf-history", "--markdown"])
+        assert args.dir == "." and args.markdown
 
 
 class TestProfilePath:
@@ -186,3 +205,50 @@ class TestTraceCommands:
         base, _aware = traces
         assert main(["trace", "show", str(base), "--markdown"]) == 0
         assert "| --- |" in capsys.readouterr().out
+
+
+class TestStreamingCommands:
+    def test_route_stream_then_watch_then_trace_show(self, capsys, tmp_path):
+        stream = tmp_path / "run.ndjson"
+        assert main([
+            "route", "S9234", "--scale", "0.02",
+            "--perf", "full", "--stream", str(stream),
+        ]) == 0
+        capsys.readouterr()
+        assert stream.exists()
+        assert main(["watch", str(stream), "--no-follow"]) == 0
+        out = capsys.readouterr().out
+        assert "watching stream" in out
+        assert "finished: StitchAwareRouter on S9234" in out
+        assert "hotspots" in out
+        # The stream doubles as a trace file for the analytics commands.
+        assert main(["trace", "show", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "detailed-route" in out and "perf_heap_pops" in out
+
+    def test_watch_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["watch", str(tmp_path / "nope.ndjson")]) == 2
+        assert "no such stream" in capsys.readouterr().err
+
+    def test_watch_bad_stream_exits_2(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.ndjson"
+        bogus.write_text('{"ev":"gauge","name":"x","value":1}\n')
+        assert main(["watch", str(bogus), "--no-follow"]) == 2
+        assert "repro watch:" in capsys.readouterr().err
+
+    def test_perf_counters_route_prints_report(self, capsys):
+        assert main([
+            "route", "S9234", "--scale", "0.02", "--perf", "counters",
+        ]) == 0
+        assert "rout_pct" in capsys.readouterr().out
+
+    def test_perf_history_on_repo_artifacts(self, capsys):
+        root = pathlib.Path(__file__).parents[1]
+        assert main(["perf-history", "--dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark snapshots" in out
+        assert "engine speedups" in out
+
+    def test_perf_history_empty_dir_exits_1(self, capsys, tmp_path):
+        assert main(["perf-history", "--dir", str(tmp_path)]) == 1
+        assert "no benchmark artifacts" in capsys.readouterr().out

@@ -121,6 +121,21 @@ class TestAuditFlag:
             RouterConfig(audit="yes")
 
 
+class TestProfileField:
+    def test_default_is_off(self):
+        assert DEFAULT_CONFIG.profile == "off"
+
+    def test_accepts_known_levels(self):
+        assert RouterConfig(profile="counters").profile == "counters"
+        assert RouterConfig(profile="full").profile == "full"
+
+    def test_rejects_unknown_levels(self):
+        with pytest.raises(ValueError):
+            RouterConfig(profile="verbose")
+        with pytest.raises(ValueError):
+            RouterConfig(profile=True)
+
+
 class TestEngineField:
     def test_default_is_auto(self):
         assert DEFAULT_CONFIG.engine is Engine.AUTO
