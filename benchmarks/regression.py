@@ -25,6 +25,9 @@ Exit status is non-zero on any regression, so CI can gate on it::
     PYTHONPATH=src python benchmarks/regression.py --no-wall       # counters only
     PYTHONPATH=src python benchmarks/regression.py --update        # refresh baselines
     PYTHONPATH=src python benchmarks/regression.py --workers 4     # parallel gate
+    PYTHONPATH=src python benchmarks/regression.py --workers 4 --executor process
+    PYTHONPATH=src python benchmarks/regression.py --only S13207 --scale 10 \
+        --workers 4 --executor process --out-dir .  # workers speedup
     PYTHONPATH=src python benchmarks/regression.py --engine array  # array-core gate
     PYTHONPATH=src python benchmarks/regression.py --scale 10 --out-dir .  # engine speedup
     PYTHONPATH=src python benchmarks/regression.py --snapshot-dir .  # refresh BENCH_*.json
@@ -120,6 +123,7 @@ def run_circuit(
     workers: int = 1,
     engine: str = "object",
     profile: str = "off",
+    executor: str = "thread",
 ) -> Dict[str, FlowResult]:
     """Route one gate circuit with every router; flows keyed by label.
 
@@ -128,7 +132,9 @@ def run_circuit(
     audit the solutions.
     """
     scale = CIRCUITS[circuit]
-    config = RouterConfig(workers=workers, engine=engine, profile=profile)
+    config = RouterConfig(
+        workers=workers, engine=engine, profile=profile, executor=executor
+    )
     flows: Dict[str, FlowResult] = {}
     for label, router_cls in ROUTERS.items():
         design = mcnc_design(circuit, scale)
@@ -240,6 +246,101 @@ def engine_speedup(
                     "object_wall_seconds": round(s, 4),
                     "array_wall_seconds": round(a, 4),
                     "repeats": len(walls["object"]),
+                    "speedup": round(ratio, 3),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {out}")
+    return failures
+
+
+def workers_speedup(
+    circuit: str,
+    scale_multiplier: float,
+    workers: int,
+    executor: str,
+    engine: str,
+    out_dir: Optional[str],
+    repeat: int = 1,
+) -> List[str]:
+    """Serial-vs-parallel differential + speedup at a scaled workload.
+
+    Routes the circuit at ``gate scale x multiplier`` (stitch-aware
+    flow) serially and with ``workers`` pooled workers on the chosen
+    ``executor`` backend, interleaved ``repeat`` times each.  The
+    parallel traces must reproduce the serial deterministic counters
+    exactly (only the ``parallel_*`` scheduling counters are
+    stripped), and the recorded speedup is the ratio of per-mode
+    minimum walls.  With ``out_dir`` set, writes
+    ``SPEEDUP_<circuit>.json`` — or ``SPEEDUP_PROC_<circuit>.json``
+    for the process executor, so ``repro perf-history`` can tell the
+    backends apart.
+    """
+    scale = CIRCUITS[circuit] * scale_multiplier
+    failures: List[str] = []
+    walls: Dict[str, List[float]] = {"serial": [], "parallel": []}
+    traces: Dict[str, RunTrace] = {}
+    for run in range(max(1, repeat)):
+        for mode in ("serial", "parallel"):
+            design = mcnc_design(circuit, scale)
+            config = RouterConfig(
+                workers=workers if mode == "parallel" else 1,
+                engine=engine,
+                executor=executor,
+            )
+            flow = StitchAwareRouter(config=config).route(design)
+            assert flow.trace is not None
+            walls[mode].append(flow.trace.wall_seconds)
+            if run == 0:
+                traces[mode] = flow.trace
+
+    diff = diff_traces(
+        traces["serial"],
+        strip_parallel_counters(traces["parallel"]),
+        DiffThresholds(include_wall=False),
+    )
+    if diff.ok:
+        print(
+            f"{circuit}@{scale:g}: {executor} pool matches the serial "
+            f"counters exactly"
+        )
+    else:
+        print(render_diff(diff))
+        failures.extend(
+            f"{circuit}@{scale:g}: executor divergence {line}"
+            for line in diff.regressions()
+        )
+
+    s, p = min(walls["serial"]), min(walls["parallel"])
+    ratio = s / p if p > 0 else 0.0
+    print(
+        f"{circuit}@{scale:g}: serial {s:.3f}s, "
+        f"workers={workers} ({executor}) {p:.3f}s, speedup x{ratio:.2f} "
+        f"(min of {len(walls['serial'])} run(s))"
+    )
+    if out_dir:
+        stem = (
+            f"SPEEDUP_PROC_{circuit}"
+            if executor == "process"
+            else f"SPEEDUP_{circuit}"
+        )
+        out = pathlib.Path(out_dir) / f"{stem}.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(
+                {
+                    "circuit": circuit,
+                    "scale": scale,
+                    "scale_multiplier": scale_multiplier,
+                    "serial_wall_seconds": round(s, 4),
+                    "parallel_wall_seconds": round(p, 4),
+                    "workers": workers,
+                    "engine": engine,
+                    "executor": executor,
+                    "repeats": len(walls["serial"]),
                     "speedup": round(ratio, 3),
                 },
                 indent=2,
@@ -520,6 +621,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serially and reports the wall-clock speedup per circuit.",
     )
     parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker-pool backend for --workers runs (default: thread; "
+        "process ships state over shared memory and must reproduce "
+        "the same bytes — SPEEDUP artifacts gain a PROC_ prefix so "
+        "perf-history can tell the rows apart)",
+    )
+    parser.add_argument(
         "--engine",
         choices=("object", "array"),
         default="object",
@@ -537,7 +647,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "deterministic counters, audit the array solutions, and "
         "report object/array wall-clock speedups (baseline diffing "
         "is skipped — the committed baselines are 1x).  With "
-        "--out-dir, writes SPEEDUP_ENGINE_<circuit>.json artifacts.",
+        "--out-dir, writes SPEEDUP_ENGINE_<circuit>.json artifacts.  "
+        "Combined with --workers N, switches to the workers-speedup "
+        "mode instead: serial vs pooled on the chosen --executor at "
+        "the scaled workload, writing SPEEDUP[_PROC]_<circuit>.json.",
     )
     parser.add_argument(
         "--repeat",
@@ -599,6 +712,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     failures: List[str] = []
     if args.scale is not None:
+        if args.workers > 1:
+            for circuit in circuits:
+                failures.extend(
+                    workers_speedup(
+                        circuit,
+                        args.scale,
+                        args.workers,
+                        args.executor,
+                        args.engine,
+                        args.out_dir,
+                        args.repeat,
+                    )
+                )
+            if failures:
+                print(f"\nworkers speedup run FAILED ({len(failures)}):")
+                for line in failures:
+                    print(f"  {line}")
+                return 1
+            print("\nworkers speedup run passed")
+            return 0
         for circuit in circuits:
             failures.extend(
                 engine_speedup(
@@ -630,7 +763,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     for circuit in circuits:
         flows = run_circuit(
-            circuit, args.workers, args.engine, args.profile
+            circuit, args.workers, args.engine, args.profile, args.executor
         )
         traces = traces_of(flows)
         if not args.no_audit:
@@ -647,14 +780,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "parallel_wall_seconds": round(p, 4),
                     "workers": args.workers,
                     "engine": args.engine,
+                    "executor": args.executor,
                     "speedup": round(ratio, 3),
                 }
                 print(
                     f"{circuit}/{label}: serial {s:.3f}s, "
-                    f"workers={args.workers} {p:.3f}s, speedup x{ratio:.2f}"
+                    f"workers={args.workers} ({args.executor}) {p:.3f}s, "
+                    f"speedup x{ratio:.2f}"
                 )
             if args.out_dir:
-                out = pathlib.Path(args.out_dir) / f"SPEEDUP_{circuit}.json"
+                stem = (
+                    f"SPEEDUP_PROC_{circuit}"
+                    if args.executor == "process"
+                    else f"SPEEDUP_{circuit}"
+                )
+                out = pathlib.Path(args.out_dir) / f"{stem}.json"
                 out.parent.mkdir(parents=True, exist_ok=True)
                 out.write_text(
                     json.dumps(speedups, indent=2, sort_keys=True) + "\n"

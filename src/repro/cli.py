@@ -126,6 +126,7 @@ def _run_config(args: argparse.Namespace) -> RouterConfig:
         sanitize=getattr(args, "sanitize", False),
         engine=getattr(args, "engine", "auto"),
         profile=getattr(args, "perf", "off"),
+        executor=getattr(args, "executor", "auto"),
     )
 
 
@@ -444,6 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
             "numpy-backed array core, or auto (array when numpy is "
             "available; both produce byte-identical reports, see "
             "docs/performance.md)",
+        )
+        p.add_argument(
+            "--executor",
+            choices=("auto", "thread", "process"),
+            default="auto",
+            help="parallel pool backend for --workers N: 'thread' "
+            "shares routing state in-process, 'process' ships net "
+            "batches to a multiprocessing pool over shared memory, "
+            "'auto' picks process only on multi-core hosts; reports "
+            "are byte-identical either way (see docs/parallelism.md)",
         )
         p.add_argument(
             "--perf",

@@ -102,14 +102,20 @@ class GridOverlay(DetailedGrid):
 
         Valid only when the merge loop has proven the overlay conflict
         free; every write then lands exactly as the serial router's
-        would have.  All claims made by a net's connection search are
-        for the net itself, so the delta is claims plus releases —
-        evictions of other nets' wire (negotiated rip-up) replay
-        through :meth:`DetailedGrid.force_occupy`.
+        would have.  The delta holds each written node's *final*
+        speculative state: claims replay through
+        :meth:`DetailedGrid.force_occupy` (evicting other nets' wire
+        exactly as negotiated rip-up did speculatively), and
+        tombstones free the node *whatever base currently says* — a
+        node the search force-claimed from a foreign net and then
+        trimmed away ends up free in the serial run, even though the
+        base grid still shows the evicted owner.
         """
         for node, value in self._owner.local.items():
             if value is _OwnerOverlay.TOMBSTONE:
-                base.release(node, net)
+                current = base.owner(node)
+                if current is not None:
+                    base.release(node, current)
             else:
                 base.force_occupy(node, value)
         base.cost_evaluations += self.cost_evaluations

@@ -23,6 +23,7 @@ auditor enforce.  ``docs/performance.md`` documents the design and the
 bit-identity obligations.
 """
 
+from .deltas import OverlayDelta
 from .detailed import ArrayDetailedGrid, ArrayGridOverlay
 from .globalroute import ArrayGlobalGraph, ArrayGraphSnapshot
 
@@ -31,4 +32,5 @@ __all__ = [
     "ArrayGlobalGraph",
     "ArrayGraphSnapshot",
     "ArrayGridOverlay",
+    "OverlayDelta",
 ]

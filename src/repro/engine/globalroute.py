@@ -34,6 +34,8 @@ from __future__ import annotations
 import heapq
 from typing import Optional
 
+import numpy as np
+
 from ..globalroute.cost import edge_cost_if_used, vertex_price
 from ..globalroute.graph import GlobalGraph, Tile
 from ..globalroute.overlay import GraphSnapshot
@@ -282,6 +284,32 @@ class ArrayGlobalGraph(_CostCacheMixin, GlobalGraph):
     def snapshot(self) -> GraphSnapshot:
         """Snapshot carrying cloned cost caches (array fast path)."""
         return ArrayGraphSnapshot(self)
+
+    def shared_state_arrays(self) -> dict[str, "np.ndarray"]:
+        """Base state plus the cost caches, as packed float64 arrays.
+
+        Shipping the caches spares every worker a per-epoch
+        ``refresh_cost_cache`` rebuild; ``float64 -> list`` round-trips
+        are exact, so workers see bit-identical cache entries.
+        """
+        arrays = super().shared_state_arrays()
+        nx, ny = self.nx, self.ny
+        arrays["h_cost"] = np.asarray(
+            self._h_cost, dtype=np.float64
+        ).reshape(max(nx - 1, 0), ny)
+        arrays["v_cost"] = np.asarray(
+            self._v_cost, dtype=np.float64
+        ).reshape(nx, max(ny - 1, 0))
+        arrays["v_price"] = np.asarray(
+            self._v_price, dtype=np.float64
+        ).reshape(nx, ny)
+        return arrays
+
+    def import_shared_state(self, arrays: dict[str, "np.ndarray"]) -> None:
+        super().import_shared_state(arrays)
+        self._h_cost = arrays["h_cost"].tolist()
+        self._v_cost = arrays["v_cost"].tolist()
+        self._v_price = arrays["v_price"].tolist()
 
 
 class ArrayGraphSnapshot(_CostCacheMixin, GraphSnapshot):

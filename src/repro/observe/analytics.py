@@ -488,7 +488,9 @@ class PerfHistory:
     Built by :func:`collect_perf_history` from the committed
     ``BENCH_<circuit>.json`` snapshots (per-router traces),
     ``SPEEDUP_ENGINE_<circuit>.json`` (object vs. array engine walls)
-    and ``SPEEDUP_<circuit>.json`` (serial vs. workers walls).
+    and ``SPEEDUP_<circuit>.json`` / ``SPEEDUP_PROC_<circuit>.json``
+    (serial vs. workers walls — the ``PROC_`` prefix marks
+    process-executor runs, and every row records its executor).
 
     Attributes:
         directory: where the artifacts were collected from.
@@ -583,9 +585,20 @@ def collect_perf_history(directory: PathLike) -> PerfHistory:
         if path.name.startswith("SPEEDUP_ENGINE_"):
             continue
         circuit = path.stem[len("SPEEDUP_"):]
+        if circuit.startswith("PROC_"):
+            # Process-executor artifacts carry a PROC_ filename prefix
+            # so thread and process rows of the same circuit coexist.
+            circuit = circuit[len("PROC_"):]
         try:
             data = json.loads(path.read_text())
-            for label, entry in sorted(data.items()):
+            if "serial_wall_seconds" in data:
+                # Flat schema: one scaled workers-speedup run
+                # (regression.py --scale --workers N).
+                entries = {"stitch-aware": data}
+                circuit = data.get("circuit", circuit)
+            else:
+                entries = data
+            for label, entry in sorted(entries.items()):
                 workers_rows.append(
                     {
                         "circuit": circuit,
@@ -594,6 +607,7 @@ def collect_perf_history(directory: PathLike) -> PerfHistory:
                         "parallel_s": entry["parallel_wall_seconds"],
                         "workers": entry["workers"],
                         "engine": entry.get("engine", ""),
+                        "executor": entry.get("executor", "thread"),
                         "speedup": entry["speedup"],
                     }
                 )
@@ -633,7 +647,7 @@ def render_perf_history(history: PerfHistory, fmt: str = "plain") -> str:
         )
     if history.workers_rows:
         columns = ["circuit", "router", "serial_s", "parallel_s", "workers",
-                   "engine", "speedup"]
+                   "engine", "executor", "speedup"]
         sections.append(
             _render_rows(
                 history.workers_rows, columns,

@@ -2,7 +2,11 @@
 
 The scheduling half of ``RouterConfig(workers=N)``: nets are grouped
 into conflict-free batches (:mod:`~repro.parallel.batching`) and run by
-an order-preserving thread pool (:mod:`~repro.parallel.executor`).  The
+an order-preserving worker pool — thread-based
+(:mod:`~repro.parallel.executor`) or process-based with shared-memory
+state transport (:mod:`~repro.parallel.process`,
+:mod:`~repro.parallel.shared_state`), selected by
+``RouterConfig(executor=...)``.  The
 routing passes speculate each batched net against copy-on-write state
 (:class:`repro.globalroute.overlay.GraphSnapshot`,
 :class:`repro.detailed.overlay.GridOverlay`) and merge results back in
@@ -20,14 +24,25 @@ from .batching import (
     plan_batches,
     rects_overlap,
 )
-from .executor import BatchExecutor
+from .executor import BatchExecutor, validate_workers
+from .process import ProcessBatchExecutor
+from .shared_state import (
+    SharedArraySpec,
+    SharedStateChannel,
+    active_segments,
+)
 
 __all__ = [
     "BatchExecutor",
     "BatchPlan",
+    "ProcessBatchExecutor",
     "Rect",
+    "SharedArraySpec",
+    "SharedStateChannel",
+    "active_segments",
     "expand_rect",
     "net_rect",
     "plan_batches",
     "rects_overlap",
+    "validate_workers",
 ]

@@ -15,14 +15,22 @@ write disjoint parts of the routing state.
 * nets whose expanded bboxes overlap keep their original relative order
   across batches (the later net lands in a strictly later batch, so it
   sees the earlier net's demand exactly as the serial router would);
-* concatenating the batches yields a permutation of the input, and the
-  relative input order is preserved *within* every batch.
+* batch indices are **monotone in input order**, so each batch is a
+  contiguous run of the input and concatenating the batches reproduces
+  the input exactly.
 
-The expansion margin is the planner's promise about how far a net's
-search may read beyond its bbox.  Searches that escalate beyond it
-(window growth, full-grid fallback) are caught at merge time by the
-routers' read/write-footprint validation — the plan is a heuristic for
-throughput, never the correctness argument.
+The contiguity invariant is load-bearing.  The expansion margin bounds
+how far a net's search is *expected* to read beyond its bbox, but
+searches can escalate past it (window growth, full-grid fallback), and
+the routers' merge-time footprint validation only compares a net
+against its own batch-mates.  With contiguous batches every write a
+net can observe from an *earlier* batch belongs to a
+canonically-earlier net committed before the batch froze — exactly the
+state the serial router would have shown it, escalated windows
+included.  Backfilling a later net into an earlier batch (the tempting
+throughput optimisation) breaks that: the net could observe, or fail
+to observe, nets it straddles in canonical order, and no per-batch
+check can tell.
 """
 
 from __future__ import annotations
@@ -65,8 +73,9 @@ class BatchPlan(Sequence["list[T]"]):
     """The planner's output: ordered batches of concurrently-safe items.
 
     Attributes:
-        batches: the partition, in execution order; each batch keeps
-            the input's relative order.
+        batches: the partition, in execution order; each batch is a
+            contiguous run of the input, so concatenating them
+            reproduces the input exactly.
         expand: the margin the item rects were grown by.
     """
 
@@ -160,8 +169,9 @@ def plan_batches(
 
     Returns:
         A :class:`BatchPlan`.  Each item lands in the earliest batch
-        that keeps both invariants: no overlap with a batch-mate, and
-        strictly after every earlier item it overlaps.
+        that keeps every invariant: no overlap with a batch-mate,
+        strictly after every earlier item it overlaps, and never in an
+        earlier batch than any earlier item.
     """
     rects: list[Rect] = []
     batch_index: list[int] = []
@@ -169,9 +179,17 @@ def plan_batches(
     index = _SpatialHash(cell)
     for i, item in enumerate(items):
         rect = expand_rect(rect_of(item), expand)
-        # The item must come after every earlier overlapping item: its
-        # search would otherwise miss their demand.
-        target = 0
+        # Batch indices are monotone in input order: an item never
+        # lands in an earlier batch than its predecessor, so batches
+        # are contiguous runs of the canonical order.  Backfilling a
+        # later item into an earlier batch would commit it before
+        # canonically-earlier items in between — sound only while
+        # every search stays inside the expansion margin, which
+        # window-escalated searches do not.
+        target = batch_index[-1] if batch_index else 0
+        # The item must also come strictly after every earlier
+        # overlapping item: its search would otherwise miss their
+        # demand.
         for j in index.query(rect):
             if rects_overlap(rect, rects[j]):
                 target = max(target, batch_index[j] + 1)

@@ -26,6 +26,18 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def validate_workers(workers: int) -> None:
+    """Reject pool widths below 2 with the shared diagnostic.
+
+    Both batch executors (:class:`BatchExecutor` and
+    :class:`~repro.parallel.process.ProcessBatchExecutor`) raise the
+    same :class:`ValueError` message: ``workers=1`` callers must keep
+    the serial code path and never build a pool.
+    """
+    if workers < 2:
+        raise ValueError(f"batch executor needs workers >= 2, got {workers}")
+
+
 class BatchExecutor:
     """Orders-preserving thread-pool runner with utilization accounting.
 
@@ -43,13 +55,15 @@ class BatchExecutor:
             bypass the pool's task accounting.
     """
 
+    #: Backend discriminator (``"process"`` on the multiprocessing twin).
+    kind = "thread"
+
     def __init__(
         self,
         workers: int,
         on_task: Optional[Callable[[int, float], None]] = None,
     ) -> None:
-        if workers < 2:
-            raise ValueError(f"BatchExecutor needs workers >= 2, got {workers}")
+        validate_workers(workers)
         self.workers = workers
         self.on_task = on_task
         self._pool: Optional[ThreadPoolExecutor] = None

@@ -1,0 +1,196 @@
+"""Process-pool execution of net batches.
+
+The multiprocessing twin of :class:`~repro.parallel.executor.
+BatchExecutor`: same submission-order results, same utilization
+accounting, same ``on_task`` fan-in hook on the submitting process —
+but tasks run in worker *processes*, so pure-Python search loops scale
+past the GIL.
+
+The shape differs from the thread pool in one deliberate way: the
+task callable and pool initializer are installed **once** via
+:meth:`ProcessBatchExecutor.configure`, and :meth:`run` takes
+payloads only.  Closures over live routing state cannot cross a
+process boundary; the routers instead register a module-level task
+function plus an initializer that attaches each worker to the stage's
+:class:`~repro.parallel.shared_state.SharedStateChannel`, and ship
+tiny picklable payloads (net names) per task.
+
+The pool context prefers ``fork`` where available: workers inherit
+the stage's design/graph objects from the initializer arguments
+without pickling, and later state flows through shared memory.  On
+platforms without ``fork`` the ``spawn`` context works identically,
+just with a pricier startup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from collections.abc import Callable, Sequence
+from typing import Any, Optional
+
+from .executor import validate_workers
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    return multiprocessing.get_context(method)
+
+
+def _timed_call(
+    task: Callable[[Any], Any], payload: Any
+) -> tuple[Any, float]:
+    """Worker-side wrapper: run one task and clock its busy time."""
+    start = time.perf_counter()
+    result = task(payload)
+    return result, time.perf_counter() - start
+
+
+class ProcessBatchExecutor:
+    """Order-preserving process-pool runner with utilization accounting.
+
+    Args:
+        workers: pool size; must be at least 2 (``workers=1`` callers
+            must keep the serial code path and never build a pool).
+        on_task: optional per-task completion hook, called as
+            ``on_task(task_index, busy_seconds)`` on the submitting
+            process after each batch resolves, in submission order —
+            identical semantics to the thread pool's hook.
+
+    Unlike the thread pool there is no width-1 inline bypass: the
+    routers only submit batches of width >= 2 (width-1 batches route
+    inline *before* reaching any pool), so every batch here is pooled
+    and every task is accounted.
+    """
+
+    #: Backend discriminator (``"thread"`` on the thread-pool twin).
+    kind = "process"
+
+    def __init__(
+        self,
+        workers: int,
+        on_task: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        validate_workers(workers)
+        self.workers = workers
+        self.on_task = on_task
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._task: Optional[Callable[[Any], Any]] = None
+        self._initializer: Optional[Callable[..., None]] = None
+        self._initargs: tuple[Any, ...] = ()
+        #: Tasks dispatched through the pool.
+        self.tasks = 0
+        #: Batches dispatched through the pool.
+        self.batches = 0
+        #: Summed per-task busy time (the "busy" numerator).
+        self.busy_seconds = 0.0
+        #: Summed ``workers * batch_wall`` (the capacity denominator).
+        self.capacity_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProcessBatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear down the pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        *,
+        task: Callable[[Any], Any],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> None:
+        """Install the worker entry points (before the first ``run``).
+
+        ``task`` must be a module-level function — it is shipped to
+        workers by reference, never by value.  ``initializer`` runs
+        once per worker process and typically attaches the shared-state
+        channel.  Reconfiguring after the pool has started would leave
+        live workers on the old entry points, so it is rejected.
+        """
+        if self._pool is not None:
+            raise RuntimeError(
+                "cannot reconfigure a ProcessBatchExecutor after its "
+                "pool has started"
+            )
+        self._task = task
+        self._initializer = initializer
+        self._initargs = initargs
+
+    # ------------------------------------------------------------------
+    def run(self, payloads: Sequence[Any]) -> list[Any]:
+        """Run one task per payload; results in payload order.
+
+        Worker exceptions propagate to the caller exactly as the
+        serial loop would have raised them.  A worker process *dying*
+        (segfault, ``SIGKILL``, interpreter abort) surfaces as a
+        :class:`RuntimeError` naming the batch position — the stock
+        :class:`BrokenProcessPool` says nothing about what was lost.
+        """
+        if self._task is None:
+            raise RuntimeError(
+                "ProcessBatchExecutor.run() called before configure()"
+            )
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_pool_context(),
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        batch_start = time.perf_counter()
+        futures = [
+            self._pool.submit(_timed_call, self._task, payload)
+            for payload in payloads
+        ]
+        timed_results: list[tuple[Any, float]] = []
+        try:
+            for position, future in enumerate(futures):
+                try:
+                    timed_results.append(future.result())
+                except BrokenProcessPool as exc:
+                    raise RuntimeError(
+                        f"process pool worker died mid-batch (task "
+                        f"{position + 1} of {len(payloads)}); the "
+                        "speculative batch cannot be recovered"
+                    ) from exc
+        finally:
+            for future in futures:
+                future.cancel()
+        batch_wall = time.perf_counter() - batch_start
+        base_index = self.tasks
+        self.batches += 1
+        self.tasks += len(payloads)
+        self.busy_seconds += sum(busy for _, busy in timed_results)
+        self.capacity_seconds += self.workers * batch_wall
+        if self.on_task is not None:
+            for offset, (_, busy) in enumerate(timed_results):
+                self.on_task(base_index + offset, busy)
+        return [result for result, _ in timed_results]
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of pool capacity spent inside tasks (0.0-1.0).
+
+        Same definition as the thread pool's: ``busy / (workers *
+        wall)`` summed over batches.  IPC overhead (pickling payloads
+        and results, shared-memory syncs) shows up as the gap between
+        this and the wall-clock speedup.
+        """
+        if self.capacity_seconds <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / self.capacity_seconds)

@@ -1,0 +1,120 @@
+"""Fault injection for the process-pool backend.
+
+A worker process can die (OOM kill, segfault, interpreter abort) or a
+task can raise mid-batch.  In either case the run must fail *fast and
+legibly* — a diagnostic naming what was lost, no hang — and the owner
+must still unlink every shared-memory segment on the way out
+(:func:`repro.parallel.active_segments` drains to empty).
+
+The injection works through the ``fork`` start method: workers pickle
+the task function *by reference*, so monkeypatching the routers'
+module-level worker task in the parent swaps in the poison before the
+pool forks, and the forked children resolve the patched attribute
+through their inherited ``sys.modules``.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.benchmarks_gen import mcnc_design
+from repro.config import RouterConfig
+from repro.api import StitchAwareRouter
+from repro.parallel import BatchPlan, ProcessBatchExecutor, active_segments
+
+
+def _poison(net_name):
+    raise RuntimeError(f"injected failure routing {net_name}")
+
+
+def _die(_net_name):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _route(circuit="S9234", scale=0.02):
+    design = mcnc_design(circuit, scale)
+    config = RouterConfig(workers=4, executor="process")
+    return StitchAwareRouter(config=config).route(design)
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    assert active_segments() == frozenset()
+    yield
+    assert active_segments() == frozenset()
+
+
+class TestExecutorFaults:
+    """Pool-level behavior, no routers involved."""
+
+    def test_killed_worker_raises_named_diagnostic(self):
+        with ProcessBatchExecutor(2) as pool:
+            pool.configure(task=_die)
+            with pytest.raises(RuntimeError, match="died mid-batch"):
+                pool.run(["n1", "n2", "n3"])
+
+    def test_diagnostic_names_the_lost_position(self):
+        with ProcessBatchExecutor(2) as pool:
+            pool.configure(task=_die)
+            with pytest.raises(RuntimeError, match=r"of 3"):
+                pool.run(["n1", "n2", "n3"])
+
+    def test_poisoned_task_propagates_original_error(self):
+        with ProcessBatchExecutor(2) as pool:
+            pool.configure(task=_poison)
+            with pytest.raises(RuntimeError, match="injected failure"):
+                pool.run(["n1", "n2"])
+
+
+class TestRouterFaults:
+    """Full-flow behavior: the stage fails cleanly and leaks nothing."""
+
+    @staticmethod
+    def _collapse_global_batches(monkeypatch):
+        # At the gate scale the global stage's organic batches are all
+        # width 1 and route inline, never reaching the pool; collapse
+        # the plan so the injected fault actually executes.
+        import repro.globalroute.router as global_router
+
+        monkeypatch.setattr(
+            global_router,
+            "plan_batches",
+            lambda items, rect_of, expand=0, cell=32: BatchPlan(
+                batches=[list(items)], expand=expand
+            ),
+        )
+
+    def test_poisoned_global_worker_fails_clean(self, monkeypatch):
+        import repro.globalroute.router as global_router
+
+        self._collapse_global_batches(monkeypatch)
+        monkeypatch.setattr(
+            global_router, "_process_worker_task", _poison
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            _route()
+
+    def test_killed_global_worker_fails_clean(self, monkeypatch):
+        import repro.globalroute.router as global_router
+
+        self._collapse_global_batches(monkeypatch)
+        monkeypatch.setattr(global_router, "_process_worker_task", _die)
+        with pytest.raises(RuntimeError, match="died mid-batch"):
+            _route()
+
+    def test_poisoned_detail_worker_fails_clean(self, monkeypatch):
+        import repro.detailed.router as detailed_router
+
+        monkeypatch.setattr(
+            detailed_router, "_process_worker_task", _poison
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            _route()
+
+    def test_killed_detail_worker_fails_clean(self, monkeypatch):
+        import repro.detailed.router as detailed_router
+
+        monkeypatch.setattr(detailed_router, "_process_worker_task", _die)
+        with pytest.raises(RuntimeError, match="died mid-batch"):
+            _route()
