@@ -1,12 +1,17 @@
 """Static and dynamic analysis for the correctness contracts.
 
-Four enforcement layers (see ``docs/static_analysis.md``):
+Five enforcement layers (see ``docs/static_analysis.md``):
 
 * :mod:`~repro.analysis.lint` — an AST-based determinism linter
   (rules DET001–DET005, ``repro lint`` on the CLI) guarding the
   serial-equivalence guarantee of :mod:`repro.parallel`;
+* :mod:`~repro.analysis.concurrency` — a static concurrency-effect
+  analyzer (rules CONC001–CONC006, ``repro races`` on the CLI) that
+  proves speculative and process-worker code touches shared state
+  only through the declared channels, seeded by
+  :func:`~repro.analysis.context.context` markers;
 * :mod:`~repro.analysis.baseline` — committed grandfathering of
-  pre-existing lint findings;
+  pre-existing lint/races findings;
 * :mod:`~repro.analysis.sanitize` — a dynamic speculation-footprint
   sanitizer (``RouterConfig(sanitize=True)`` / ``--sanitize``);
 * :mod:`~repro.analysis.audit` — an independent DRC-style solution
@@ -14,7 +19,14 @@ Four enforcement layers (see ``docs/static_analysis.md``):
   ``RouterConfig(audit=True)``) that re-derives every stitching
   constraint from the raw geometry and cross-checks the evaluator's
   counters.
+
+The sanitizer names are re-exported lazily (PEP 562): eager import
+would pull the router/grid modules in, and the routing layers
+themselves import :mod:`~repro.analysis.context` for their execution-
+context markers — the lazy hop keeps that edge acyclic.
 """
+
+from typing import TYPE_CHECKING, Any
 
 from .audit import (
     AuditFinding,
@@ -25,9 +37,19 @@ from .audit import (
 )
 from .baseline import (
     DEFAULT_BASELINE_NAME,
+    DEFAULT_RACES_BASELINE_NAME,
     Baseline,
     save_baseline,
 )
+from .concurrency import (
+    RaceReport,
+    analyze_paths,
+    analyze_source,
+    render_races,
+    resolve_races_rule_filter,
+)
+from .context import SHARED_STRUCTURES, context
+from .findings import DeadSuppression, fix_hint_for
 from .lint import (
     Finding,
     LintReport,
@@ -37,33 +59,62 @@ from .lint import (
     render_findings,
     resolve_rule_filter,
 )
-from .rules import AUDIT_RULES, RULES, Rule
-from .sanitize import (
-    SanitizedGraphSnapshot,
-    SanitizedGridOverlay,
-    SanitizerViolation,
+from .rules import AUDIT_RULES, CONC_RULES, RULES, Rule, rule_catalog
+
+if TYPE_CHECKING:  # pragma: no cover - import-time types only
+    from .sanitize import (
+        SanitizedGraphSnapshot,
+        SanitizedGridOverlay,
+        SanitizerViolation,
+    )
+
+_LAZY_SANITIZE = frozenset(
+    {"SanitizedGraphSnapshot", "SanitizedGridOverlay", "SanitizerViolation"}
 )
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_SANITIZE:
+        from . import sanitize
+
+        return getattr(sanitize, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 
 __all__ = [
     "AUDIT_RULES",
     "AuditFinding",
     "AuditReport",
     "Baseline",
+    "CONC_RULES",
     "CounterDrift",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_RACES_BASELINE_NAME",
+    "DeadSuppression",
     "Finding",
     "LintReport",
     "RULES",
+    "RaceReport",
     "Rule",
+    "SHARED_STRUCTURES",
     "SanitizedGraphSnapshot",
     "SanitizedGridOverlay",
     "SanitizerViolation",
+    "analyze_paths",
+    "analyze_source",
     "audit_solution",
+    "context",
+    "fix_hint_for",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "render_audit",
     "render_findings",
+    "render_races",
+    "resolve_races_rule_filter",
     "resolve_rule_filter",
+    "rule_catalog",
     "save_baseline",
 ]

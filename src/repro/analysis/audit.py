@@ -37,6 +37,7 @@ import dataclasses
 from collections import Counter
 from typing import TYPE_CHECKING, Optional, Union
 
+from .findings import fix_hint_for
 from .rules import AUDIT_RULES
 
 if TYPE_CHECKING:  # data models only — never their counting helpers
@@ -77,7 +78,7 @@ class AuditFinding:
     @property
     def fix_hint(self) -> str:
         """The rule's canonical fix, for display."""
-        return AUDIT_RULES[self.rule].fix_hint
+        return fix_hint_for(self.rule)
 
     @property
     def location(self) -> str:

@@ -1,14 +1,18 @@
-"""Committed lint baselines: grandfather existing findings, not new ones.
+"""Committed finding baselines: grandfather existing findings, not new ones.
 
-A baseline file records the fingerprints of known findings so the lint
-gate can be adopted on a codebase with existing debt: grandfathered
-findings are reported but do not fail the run, while any *new* finding
-does.  Fingerprints are ``(path, rule, stripped line text)`` — stable
-across unrelated edits that only shift line numbers.
+A baseline file records the fingerprints of known findings so an
+analysis gate can be adopted on a codebase with existing debt:
+grandfathered findings are reported but do not fail the run, while any
+*new* finding does.  Fingerprints are ``(path, rule, stripped line
+text)`` — stable across unrelated edits that only shift line numbers.
 
-The default committed baseline lives at the repo root as
-``lint-baseline.json``; ``repro lint --update-baseline`` rewrites it
-from the current findings.
+Two gates share this machinery, distinguished by the ``format`` field
+in the file header:
+
+* the determinism linter — ``lint-baseline.json`` at the repo root,
+  rewritten by ``repro lint --update-baseline``;
+* the concurrency analyzer — ``races-baseline.json``, rewritten by
+  ``repro races --update-baseline``.
 """
 
 from __future__ import annotations
@@ -17,14 +21,20 @@ import json
 import pathlib
 from collections.abc import Iterable
 
-from .lint import Finding
+from .findings import Finding
 
 BASELINE_FORMAT = "repro-lint-baseline"
 BASELINE_VERSION = 1
 
+#: ``format`` header and default file name of the races baseline.
+RACES_BASELINE_FORMAT = "repro-races-baseline"
+
 #: File name probed in the working directory when ``--baseline`` is
 #: not given.
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+#: Same, for ``repro races``.
+DEFAULT_RACES_BASELINE_NAME = "races-baseline.json"
 
 
 class Baseline:
@@ -48,11 +58,20 @@ class Baseline:
 
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, path: str | pathlib.Path) -> Baseline:
-        """Read a baseline file written by :func:`save_baseline`."""
+    def load(
+        cls,
+        path: str | pathlib.Path,
+        *,
+        format: str = BASELINE_FORMAT,
+    ) -> Baseline:
+        """Read a baseline file written by :func:`save_baseline`.
+
+        ``format`` must match the file's header — loading a lint
+        baseline as a races baseline (or vice versa) is an error.
+        """
         data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
-        if data.get("format") != BASELINE_FORMAT:
-            raise ValueError(f"{path}: not a {BASELINE_FORMAT} file")
+        if data.get("format") != format:
+            raise ValueError(f"{path}: not a {format} file")
         if data.get("version") != BASELINE_VERSION:
             raise ValueError(
                 f"{path}: unsupported baseline version {data.get('version')}"
@@ -64,7 +83,10 @@ class Baseline:
 
 
 def save_baseline(
-    path: str | pathlib.Path, findings: Iterable[Finding]
+    path: str | pathlib.Path,
+    findings: Iterable[Finding],
+    *,
+    format: str = BASELINE_FORMAT,
 ) -> int:
     """Write the baseline file grandfathering ``findings``.
 
@@ -75,7 +97,7 @@ def save_baseline(
         {finding.fingerprint for finding in findings}
     )
     document = {
-        "format": BASELINE_FORMAT,
+        "format": format,
         "version": BASELINE_VERSION,
         "findings": [
             {"path": p, "rule": rule, "text": text}

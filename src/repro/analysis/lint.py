@@ -23,11 +23,32 @@ from __future__ import annotations
 import ast
 import dataclasses
 import pathlib
-import re
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Optional
 
+from .findings import (
+    DeadSuppression,
+    Finding,
+    dead_suppression_lines,
+    finding_lines,
+    suppressed_rules,
+    suppression_map,
+)
+from .findings import resolve_rule_filter as _resolve_rule_filter
 from .rules import ROUTING_PACKAGES, RULES, Rule
+
+__all__ = [
+    "DeadSuppression",
+    "Finding",
+    "LintReport",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "resolve_rule_filter",
+    "routing_rules_apply",
+    "suppressed_rules",
+]
 
 #: Calls whose result cannot depend on the argument's iteration order —
 #: feeding them a set (or a generator over one) is deterministic.
@@ -70,45 +91,7 @@ _FLOATY_TOKENS = frozenset(
     }
 )
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*allow-(DET\d{3}(?:\s*,\s*(?:allow-)?DET\d{3})*)"
-)
-
 _SET_ANNOTATION_NAMES = frozenset({"set", "Set", "frozenset", "FrozenSet"})
-
-
-@dataclasses.dataclass(frozen=True)
-class Finding:
-    """One rule violation at one source location."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-    text: str
-
-    @property
-    def fix_hint(self) -> str:
-        """The rule's canonical fix, for display."""
-        return RULES[self.rule].fix_hint
-
-    @property
-    def fingerprint(self) -> tuple[str, str, str]:
-        """Line-number-independent identity used by the baseline."""
-        return (self.path.replace("\\", "/"), self.rule, self.text)
-
-    def to_dict(self) -> dict[str, object]:
-        """Plain-dict form for ``--format json`` output."""
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "rule": self.rule,
-            "message": self.message,
-            "text": self.text,
-            "fix_hint": self.fix_hint,
-        }
 
 
 @dataclasses.dataclass
@@ -119,20 +102,14 @@ class LintReport:
     grandfathered: list[Finding]
     suppressed: int
     files: int
+    dead_suppressions: list[DeadSuppression] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
         """Whether the run is clean (no non-grandfathered findings)."""
         return not self.findings
-
-
-def suppressed_rules(line: str) -> frozenset[str]:
-    """Rule codes silenced by a ``# repro: allow-DETnnn`` comment."""
-    match = _SUPPRESS_RE.search(line)
-    if match is None:
-        return frozenset()
-    codes = re.findall(r"DET\d{3}", match.group(1))
-    return frozenset(codes)
 
 
 def routing_rules_apply(path: str) -> bool:
@@ -513,23 +490,40 @@ class _FileLinter(ast.NodeVisitor):
                 self._emit(RULES["DET004"], default)
 
 
-def _lint_source(source: str, path: str) -> tuple[list[Finding], int]:
-    """Lint one file; returns (kept findings, suppressed count)."""
+def _lint_source(
+    source: str, path: str
+) -> tuple[list[Finding], int, list[DeadSuppression]]:
+    """Lint one file; returns (kept, suppressed count, dead suppressions)."""
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
     linter = _FileLinter(path, lines, routing_rules_apply(path))
     linter.visit(tree)
     kept: list[Finding] = []
     suppressed = 0
+    allowed = suppression_map(source, "DET")
+    used_codes: dict[int, set[str]] = {}
     for finding in sorted(
         linter.findings, key=lambda f: (f.line, f.col, f.rule)
     ):
-        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
-        if finding.rule in suppressed_rules(line):
+        if finding.rule in allowed.get(finding.line, frozenset()):
             suppressed += 1
+            used_codes.setdefault(finding.line, set()).add(finding.rule)
         else:
             kept.append(finding)
-    return kept, suppressed
+    dead: list[DeadSuppression] = []
+    for lineno, codes in sorted(allowed.items()):
+        line = lines[lineno - 1] if lineno <= len(lines) else ""
+        unused = sorted(codes - used_codes.get(lineno, set()))
+        if unused:
+            dead.append(
+                DeadSuppression(
+                    path=path,
+                    line=lineno,
+                    codes=tuple(unused),
+                    text=line.strip(),
+                )
+            )
+    return kept, suppressed, dead
 
 
 def lint_source(source: str, path: str) -> list[Finding]:
@@ -557,16 +551,7 @@ def resolve_rule_filter(
     rule); ``ignore`` then removes codes.  Unknown codes raise
     :class:`ValueError` naming the offenders.
     """
-    known = frozenset(RULES)
-    requested = frozenset(select) if select is not None else known
-    ignored = frozenset(ignore) if ignore is not None else frozenset()
-    unknown = sorted((requested | ignored) - known)
-    if unknown:
-        raise ValueError(
-            f"unknown rule code(s): {', '.join(unknown)} "
-            f"(known: {', '.join(sorted(known))})"
-        )
-    return requested - ignored
+    return _resolve_rule_filter(select, ignore, known=RULES)
 
 
 def lint_paths(
@@ -590,11 +575,15 @@ def lint_paths(
     grandfathered: list[Finding] = []
     suppressed = 0
     files = 0
+    dead_suppressions: list[DeadSuppression] = []
     for file_path in iter_python_files(paths):
         files += 1
         source = file_path.read_text(encoding="utf-8")
-        kept, file_suppressed = _lint_source(source, str(file_path))
+        kept, file_suppressed, file_dead = _lint_source(
+            source, str(file_path)
+        )
         suppressed += file_suppressed
+        dead_suppressions.extend(file_dead)
         for finding in kept:
             if finding.rule not in active:
                 continue
@@ -607,22 +596,22 @@ def lint_paths(
         grandfathered=grandfathered,
         suppressed=suppressed,
         files=files,
+        dead_suppressions=dead_suppressions,
     )
 
 
 def render_findings(report: LintReport) -> str:
     """Human-readable lint output (one line per finding plus a hint)."""
-    out: list[str] = []
-    for finding in report.findings:
-        out.append(
-            f"{finding.path}:{finding.line}:{finding.col + 1}: "
-            f"{finding.rule} {finding.message}"
-        )
-        out.append(f"    hint: {finding.fix_hint}")
+    out = finding_lines(report.findings)
+    out.extend(dead_suppression_lines(report.dead_suppressions))
     summary = (
         f"{len(report.findings)} finding(s) in {report.files} file(s)"
     )
     if report.grandfathered:
         summary += f", {len(report.grandfathered)} grandfathered"
+    if report.dead_suppressions:
+        summary += (
+            f", {len(report.dead_suppressions)} dead suppression(s)"
+        )
     out.append(summary)
     return "\n".join(out)

@@ -22,6 +22,10 @@ Commands:
   ``docs/static_analysis.md``) over source paths; exits nonzero on
   findings not grandfathered by the committed baseline.
   ``--select`` / ``--ignore`` restrict the active rule set.
+* ``races`` — run the static concurrency-effect analyzer (rules
+  CONC001–CONC006, see ``docs/static_analysis.md``) over source
+  paths; exits nonzero on findings not grandfathered by the committed
+  ``races-baseline.json``.
 * ``audit`` — route one circuit and run the independent solution
   auditor (rules AUD001–AUD007) over the result: every stitching
   constraint is re-derived from the raw geometry and the report's
@@ -288,6 +292,32 @@ def _rule_codes(raw: Optional[str]) -> Optional[list[str]]:
     return [code.strip() for code in raw.split(",") if code.strip()]
 
 
+def _update_baseline(
+    baseline_path: pathlib.Path,
+    findings: list,
+    *,
+    format: str,
+) -> int:
+    """Rewrite ``baseline_path`` from ``findings``, reporting the churn.
+
+    Stale fingerprints (grandfathered findings that no longer exist)
+    are pruned; brand-new findings are added.  Both counts are printed
+    so a baseline refresh is reviewable at a glance.
+    """
+    from .analysis import Baseline, save_baseline
+
+    old: frozenset = frozenset()
+    if baseline_path.exists():
+        old = Baseline.load(baseline_path, format=format).fingerprints
+    new = {finding.fingerprint for finding in findings}
+    count = save_baseline(baseline_path, findings, format=format)
+    print(
+        f"wrote {baseline_path} ({count} grandfathered finding(s), "
+        f"{len(new - old)} added, {len(old - new)} pruned)"
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported here: the linter pulls in the analysis package, which
     # routing commands never need.
@@ -296,8 +326,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Baseline,
         lint_paths,
         render_findings,
-        save_baseline,
     )
+    from .analysis.baseline import BASELINE_FORMAT
 
     paths = args.paths or ["src"]
     select = _rule_codes(args.select)
@@ -306,11 +336,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     try:
         if args.update_baseline:
             report = lint_paths(paths, select=select, ignore=ignore)
-            count = save_baseline(baseline_path, report.findings)
-            print(
-                f"wrote {baseline_path} ({count} grandfathered finding(s))"
+            status = _update_baseline(
+                baseline_path,
+                report.findings,
+                format=BASELINE_FORMAT,
             )
-            return 0
+            for line in _dead_suppression_warnings(report):
+                print(line, file=sys.stderr)
+            return status
         fingerprints: frozenset = frozenset()
         if baseline_path.exists():
             fingerprints = Baseline.load(baseline_path).fingerprints
@@ -328,12 +361,81 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "findings": [f.to_dict() for f in report.findings],
             "grandfathered": [f.to_dict() for f in report.grandfathered],
             "suppressed": report.suppressed,
+            "dead_suppressions": [
+                d.to_dict() for d in report.dead_suppressions
+            ],
             "files": report.files,
             "ok": report.ok,
         }
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(render_findings(report))
+    return 0 if report.ok else 1
+
+
+def _dead_suppression_warnings(report) -> list:
+    from .analysis.findings import dead_suppression_lines
+
+    return dead_suppression_lines(report.dead_suppressions)
+
+
+def _cmd_races(args: argparse.Namespace) -> int:
+    # Imported here for the same reason as the linter.
+    from .analysis import (
+        Baseline,
+        analyze_paths,
+        render_races,
+    )
+    from .analysis.baseline import (
+        DEFAULT_RACES_BASELINE_NAME,
+        RACES_BASELINE_FORMAT,
+    )
+
+    paths = args.paths or ["src"]
+    select = _rule_codes(args.select)
+    ignore = _rule_codes(args.ignore)
+    baseline_path = pathlib.Path(
+        args.baseline or DEFAULT_RACES_BASELINE_NAME
+    )
+    try:
+        if args.update_baseline:
+            report = analyze_paths(paths, select=select, ignore=ignore)
+            status = _update_baseline(
+                baseline_path,
+                report.findings,
+                format=RACES_BASELINE_FORMAT,
+            )
+            for line in _dead_suppression_warnings(report):
+                print(line, file=sys.stderr)
+            return status
+        fingerprints: frozenset = frozenset()
+        if baseline_path.exists():
+            fingerprints = Baseline.load(
+                baseline_path, format=RACES_BASELINE_FORMAT
+            ).fingerprints
+        report = analyze_paths(
+            paths,
+            baseline_fingerprints=fingerprints,
+            select=select,
+            ignore=ignore,
+        )
+    except ValueError as error:  # unknown rule codes -> usage error
+        print(f"repro races: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        document = {
+            "findings": [f.to_dict() for f in report.findings],
+            "grandfathered": [f.to_dict() for f in report.grandfathered],
+            "suppressed": report.suppressed,
+            "dead_suppressions": [
+                d.to_dict() for d in report.dead_suppressions
+            ],
+            "files": report.files,
+            "ok": report.ok,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_races(report))
     return 0 if report.ok else 1
 
 
@@ -554,6 +656,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated DET codes to skip",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    races = sub.add_parser(
+        "races",
+        help="static concurrency-effect analyzer "
+        "(CONC rules, docs/static_analysis.md)",
+    )
+    races.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    races.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    races.add_argument(
+        "--baseline",
+        metavar="JSON",
+        help="baseline file of grandfathered findings "
+        "(default: ./races-baseline.json when present)",
+    )
+    races.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    races.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated CONC codes to check (default: all rules)",
+    )
+    races.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated CONC codes to skip",
+    )
+    races.set_defaults(func=_cmd_races)
 
     audit = sub.add_parser(
         "audit",

@@ -25,6 +25,7 @@ import time
 from collections.abc import Sequence
 from typing import Optional, Union
 
+from ..analysis.context import context
 from ..assign import DesignTrackAssignment
 from ..engine.deltas import OverlayDelta
 from ..globalroute import GlobalGraph
@@ -64,6 +65,7 @@ AnyPool = Union[BatchExecutor, ProcessBatchExecutor]
 _PROC_CONTEXT: Optional[dict] = None
 
 
+@context("worker-process", reads=("channel",), writes=("grid.journal",))
 def _process_worker_init(
     params: dict,
     design: Design,
@@ -90,6 +92,7 @@ def _process_worker_init(
     }
 
 
+@context("worker-process", reads=("grid.owner",), writes=("grid.owner",))
 def _replay_journal(grid: DetailedGrid, frames: list) -> None:
     """Apply published ownership journals to a worker's grid.
 
@@ -107,19 +110,20 @@ def _replay_journal(grid: DetailedGrid, frames: list) -> None:
                 grid.force_occupy(node, owner)
 
 
+@context("worker-process", reads=("channel", "grid.owner"), writes=("grid.owner",))
 def _process_worker_task(
     net_name: str,
 ) -> tuple[tuple, OverlayDelta, dict]:
     """Pool task: speculatively connect one net in a worker process."""
-    context = _PROC_CONTEXT
-    assert context is not None, "worker used before _process_worker_init"
-    synced = context["channel"].sync()
+    ctx = _PROC_CONTEXT
+    assert ctx is not None, "worker used before _process_worker_init"
+    synced = ctx["channel"].sync()
     if synced is not None:
         _arrays, frames = synced
-        _replay_journal(context["grid"], frames)
-    net = context["design"].netlist[net_name]
-    result, overlay, stats = context["router"]._connect_speculative(
-        context["design"], context["grid"], net, context["trunks"]
+        _replay_journal(ctx["grid"], frames)
+    net = ctx["design"].netlist[net_name]
+    result, overlay, stats = ctx["router"]._connect_speculative(
+        ctx["design"], ctx["grid"], net, ctx["trunks"]
     )
     return result, OverlayDelta.from_overlay(overlay), stats
 
@@ -373,6 +377,7 @@ class DetailedRouter:
     # ------------------------------------------------------------------
     # Net-batch scheduling (workers > 1)
     # ------------------------------------------------------------------
+    @context("canonical")
     def _first_pass(
         self,
         design: Design,
@@ -457,6 +462,7 @@ class DetailedRouter:
             # routes on shared live state and needs no journal.
             grid.stop_journal()
 
+    @context("canonical")
     def _speculate_batch(
         self,
         design: Design,
@@ -537,6 +543,7 @@ class DetailedRouter:
         ):
             stats[name] = stats.get(name, 0) + delta
 
+    @context("speculative")
     def _connect_speculative(
         self,
         design: Design,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..analysis.context import context
 from ..detailed.grid import DetailedGrid, Node
 from ..detailed.overlay import GridOverlay, _OwnerOverlay
 
@@ -41,6 +42,7 @@ class OverlayDelta:
     cost_evaluations: int
 
     @classmethod
+    @context("worker-process")
     def from_overlay(cls, overlay: GridOverlay) -> "OverlayDelta":
         """Extract the wire form from a (possibly sanitized) overlay."""
         tombstone = _OwnerOverlay.TOMBSTONE
@@ -55,6 +57,7 @@ class OverlayDelta:
             cost_evaluations=overlay.cost_evaluations,
         )
 
+    @context("canonical", reads=("grid.owner",), writes=("grid.owner",))
     def apply_to(self, base: DetailedGrid, net: str) -> None:
         """Replay onto the live grid, mirroring ``GridOverlay.apply_to``.
 

@@ -162,7 +162,7 @@ class _IndexedSearchMixin:
         # both branches produce identical values.
         if len(targets) >= 16:
             tarr = np.array(
-                list(targets), dtype=np.int64  # repro: allow-DET001
+                list(targets), dtype=np.int64
             )
             txs, tys = tarr[:, 0], tarr[:, 1]
             t_lo_x = int(txs.min())
@@ -178,7 +178,7 @@ class _IndexedSearchMixin:
             t_lo_y = min(t[1] for t in targets)
             t_hi_y = max(t[1] for t in targets)
             tgt = frozenset(
-                encode(t) for t in targets  # repro: allow-DET001
+                encode(t) for t in targets
             )
         step = self._step
         via_extra = self._via_extra
@@ -200,7 +200,7 @@ class _IndexedSearchMixin:
 
         blk: Optional[frozenset] = None
         if blocked is not None:
-            blk = frozenset(encode(b) for b in blocked)  # repro: allow-DET001
+            blk = frozenset(encode(b) for b in blocked)
 
         # Seeding order over the source set is immaterial: best_g is a
         # pure mapping and heap entries are totally ordered by
@@ -222,7 +222,7 @@ class _IndexedSearchMixin:
         heap: list[tuple[float, float, int, int, int]]
         if len(sources) >= 16:
             sarr = np.array(
-                list(sources), dtype=np.int64  # repro: allow-DET001
+                list(sources), dtype=np.int64
             )
             sxs, sys_ = sarr[:, 0], sarr[:, 1]
             sdx = np.maximum(np.maximum(t_lo_x - sxs, sxs - t_hi_x), 0)
@@ -243,7 +243,7 @@ class _IndexedSearchMixin:
             best_g = {}
             src_idx = set()
             heap = []
-            for s in sources:  # repro: allow-DET001
+            for s in sources:
                 x, y, _layer = s
                 dx = (t_lo_x - x) if x < t_lo_x else (x - t_hi_x) if x > t_hi_x else 0
                 dy = (t_lo_y - y) if y < t_lo_y else (y - t_hi_y) if y > t_hi_y else 0
@@ -985,5 +985,5 @@ class ArrayGridOverlay(_IndexedSearchMixin, GridOverlay):
         decode = self._decode
         reads_idx = self._reads_idx
         assert reads_idx is not None
-        indexed = {decode(i) for i in reads_idx}  # repro: allow-DET001
+        indexed = {decode(i) for i in reads_idx}
         return self._indexed_owner.reads | indexed

@@ -35,6 +35,7 @@ from .cost import (
     edge_cost_if_used,
     vertex_price,
 )
+from ..analysis.context import context
 from .graph import GlobalGraph, Tile
 from .overlay import windows_hit
 
@@ -55,6 +56,7 @@ AnyPool = Union[BatchExecutor, ProcessBatchExecutor]
 _PROC_CONTEXT: Optional[dict] = None
 
 
+@context("worker-process")
 def _process_worker_init(
     params: dict, graph: GlobalGraph, handle: tuple
 ) -> None:
@@ -74,6 +76,11 @@ def _process_worker_init(
     }
 
 
+@context(
+    "worker-process",
+    reads=("channel",),
+    writes=("global.demand", "global.history", "engine.cache"),
+)
 def _process_worker_task(
     net_name: str,
 ) -> tuple[
@@ -87,15 +94,15 @@ def _process_worker_task(
     — the parent re-wraps them around its own :class:`Net` object, so
     net identity on the submitting side is untouched by pickling.
     """
-    context = _PROC_CONTEXT
-    assert context is not None, "worker used before _process_worker_init"
-    synced = context["channel"].sync()
+    ctx = _PROC_CONTEXT
+    assert ctx is not None, "worker used before _process_worker_init"
+    synced = ctx["channel"].sync()
     if synced is not None:
         arrays, _frames = synced
-        context["graph"].import_shared_state(arrays)
-    graph = context["graph"]
+        ctx["graph"].import_shared_state(arrays)
+    graph = ctx["graph"]
     net = graph.design.netlist[net_name]
-    route, stats, windows = context["router"]._route_speculative(graph, net)
+    route, stats, windows = ctx["router"]._route_speculative(graph, net)
     paths = None if route is None else route.paths
     return paths, stats, windows
 
@@ -367,6 +374,7 @@ class GlobalRouter:
     # ------------------------------------------------------------------
     # Net-batch scheduling (workers > 1)
     # ------------------------------------------------------------------
+    @context("canonical")
     def _route_many(
         self,
         graph: GlobalGraph,
@@ -448,6 +456,7 @@ class GlobalRouter:
         span.gauge("parallel_max_batch_width", plan.max_width)
         span.gauge("parallel_mean_batch_width", round(plan.mean_width, 3))
 
+    @context("canonical")
     def _speculate_batch(
         self,
         graph: GlobalGraph,
@@ -510,6 +519,7 @@ class GlobalRouter:
             )
         return self._proc_channel
 
+    @context("speculative")
     def _route_speculative(
         self, graph: GlobalGraph, net: Net
     ) -> tuple[Optional[GlobalRoute], dict[str, float], list[tuple[int, int, int, int]]]:

@@ -22,6 +22,8 @@ from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Callable, Sequence
 from typing import Optional, TypeVar
 
+from ..analysis.context import context
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -90,6 +92,7 @@ class BatchExecutor:
             self._pool = None
 
     # ------------------------------------------------------------------
+    @context("canonical")
     def run(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item concurrently; results in item order.
 

@@ -31,6 +31,7 @@ from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Callable, Sequence
 from typing import Any, Optional
 
+from ..analysis.context import context
 from .executor import validate_workers
 
 
@@ -43,6 +44,7 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context(method)
 
 
+@context("worker-process")
 def _timed_call(
     task: Callable[[Any], Any], payload: Any
 ) -> tuple[Any, float]:
@@ -107,6 +109,7 @@ class ProcessBatchExecutor:
             self._pool = None
 
     # ------------------------------------------------------------------
+    @context("canonical")
     def configure(
         self,
         *,
@@ -132,6 +135,7 @@ class ProcessBatchExecutor:
         self._initargs = initargs
 
     # ------------------------------------------------------------------
+    @context("canonical")
     def run(self, payloads: Sequence[Any]) -> list[Any]:
         """Run one task per payload; results in payload order.
 

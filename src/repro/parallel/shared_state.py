@@ -40,6 +40,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.context import context
+
 #: Control words: epoch, journal bytes used, journal generation,
 #: journal capacity.  Little-endian int64 each.
 _CTL = struct.Struct("<qqqq")
@@ -151,6 +153,7 @@ class SharedStateChannel:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
+    @context("canonical")
     def create(
         cls, tag: str, specs: Sequence[SharedArraySpec]
     ) -> "SharedStateChannel":
@@ -174,6 +177,7 @@ class SharedStateChannel:
         return channel
 
     @classmethod
+    @context("worker-process", reads=("channel",))
     def attach(cls, handle: ChannelHandle) -> "SharedStateChannel":
         """Worker-side constructor: map the owner's segments."""
         prefix, specs = handle
@@ -209,6 +213,7 @@ class SharedStateChannel:
     # ------------------------------------------------------------------
     # Owner side
     # ------------------------------------------------------------------
+    @context("canonical", writes=("channel",))
     def publish(
         self, arrays: Mapping[str, np.ndarray], frame: bytes = b""
     ) -> int:
@@ -252,7 +257,13 @@ class SharedStateChannel:
         grown = _create_segment(
             f"{self.prefix}-jrn{self._generation}", capacity
         )
-        grown.buf[:used] = self._jrn.buf[:used]
+        try:
+            grown.buf[:used] = self._jrn.buf[:used]
+        except Exception:
+            grown_name = grown.name
+            grown.close()
+            self._unlink_segment(grown, grown_name)
+            raise
         old_name = self._jrn.name
         self._jrn.close()
         self._unlink_segment(self._jrn, old_name)
@@ -262,6 +273,7 @@ class SharedStateChannel:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
+    @context("worker-process", reads=("channel",))
     def sync(self) -> Optional[tuple[dict[str, np.ndarray], list[bytes]]]:
         """Adopt anything published since the last sync.
 

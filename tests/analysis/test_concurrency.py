@@ -1,0 +1,481 @@
+"""The static concurrency-effect analyzer (CONC rules).
+
+Each rule gets a minimal violating corpus snippet plus a clean
+variant; the two PR-8 regression shapes (batch-index backfill,
+tombstone self-release replay) are encoded verbatim as corpora so the
+analyzer provably catches the bugs the 10x differential run found
+dynamically.  The final gate asserts the repository's own ``src`` tree
+is clean under the committed baseline.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CONC_RULES,
+    analyze_paths,
+    analyze_source,
+    context,
+    render_races,
+    resolve_races_rule_filter,
+)
+from repro.cli import main
+
+
+def codes(source, path="corpus.py"):
+    return [finding.rule for finding in analyze_source(source, path)]
+
+
+# ----------------------------------------------------------------------
+# The @context marker itself
+# ----------------------------------------------------------------------
+class TestContextMarker:
+    def test_marker_is_inert(self):
+        @context("speculative")
+        def probe(x):
+            return x + 1
+
+        assert probe(1) == 2
+        assert probe.__repro_context__ == "speculative"
+        assert probe.__repro_reads__ is None
+        assert probe.__repro_writes__ is None
+
+    def test_footprints_become_tuples(self):
+        @context("worker-process", reads=["channel"], writes=["grid.owner"])
+        def probe():
+            pass
+
+        assert probe.__repro_reads__ == ("channel",)
+        assert probe.__repro_writes__ == ("grid.owner",)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown context kind"):
+            context("background")
+
+    def test_unknown_structure_raises(self):
+        with pytest.raises(ValueError, match="unknown shared structure"):
+            context("canonical", writes=["grid.ownerz"])
+
+
+# ----------------------------------------------------------------------
+# CONC001 / CONC002: base-state access from a speculative context
+# ----------------------------------------------------------------------
+SPECULATIVE_BASE_WRITE = """\
+from repro.analysis.context import context
+
+@context("speculative")
+def route(grid, net, overlay):
+    overlay.occupy(net, net)
+    grid.release(net, net)
+"""
+
+SPECULATIVE_BASE_READ = """\
+from repro.analysis.context import context
+
+@context("speculative")
+def probe(graph, key):
+    return graph.edge_demand(key)
+"""
+
+SPECULATIVE_CLEAN = """\
+from repro.analysis.context import context
+
+@context("speculative")
+def route(grid, net):
+    overlay = grid.speculative_overlay()
+    overlay.occupy(net, net)
+    return overlay.owner(net)
+"""
+
+INTERPROCEDURAL_WRITE = """\
+from repro.analysis.context import context
+
+def bump(graph, key):
+    graph.add_edge_demand(key, 1)
+
+@context("speculative")
+def route(graph, key):
+    bump(graph, key)
+"""
+
+INTERPROCEDURAL_CLEAN = """\
+from repro.analysis.context import context
+
+def probe(snap, key):
+    return snap.edge_demand(key)
+
+@context("speculative")
+def route(graph, key):
+    snap = graph.snapshot()
+    return probe(snap, key)
+"""
+
+
+class TestSpeculativeBaseAccess:
+    def test_base_write_fires_conc001(self):
+        assert "CONC001" in codes(SPECULATIVE_BASE_WRITE)
+
+    def test_base_read_fires_conc002(self):
+        assert "CONC002" in codes(SPECULATIVE_BASE_READ)
+
+    def test_overlay_usage_is_clean(self):
+        assert codes(SPECULATIVE_CLEAN) == []
+
+    def test_write_through_helper_fires_conc001(self):
+        found = codes(INTERPROCEDURAL_WRITE)
+        assert "CONC001" in found
+
+    def test_finding_lands_at_seed_call_site(self):
+        findings = analyze_source(INTERPROCEDURAL_WRITE, "corpus.py")
+        conc001 = [f for f in findings if f.rule == "CONC001"]
+        assert conc001 and "via" in conc001[0].message
+        assert conc001[0].text == "bump(graph, key)"
+
+    def test_snapshot_through_helper_is_clean(self):
+        assert codes(INTERPROCEDURAL_CLEAN) == []
+
+
+# ----------------------------------------------------------------------
+# CONC003: closures crossing the process-pool boundary
+# ----------------------------------------------------------------------
+LAMBDA_TASK = """\
+from repro.parallel.process import ProcessBatchExecutor
+
+def launch(payloads):
+    pool = ProcessBatchExecutor(4)
+    pool.configure(task=lambda x: x)
+    return pool.run(payloads)
+"""
+
+MODULE_LEVEL_TASK = """\
+from repro.parallel.process import ProcessBatchExecutor
+
+def work(x):
+    return x
+
+def launch(payloads):
+    pool = ProcessBatchExecutor(4)
+    pool.configure(task=work)
+    return pool.run(payloads)
+"""
+
+
+class TestProcessPoolBoundary:
+    def test_lambda_task_fires_conc003(self):
+        assert "CONC003" in codes(LAMBDA_TASK)
+
+    def test_module_level_task_is_clean(self):
+        assert "CONC003" not in codes(MODULE_LEVEL_TASK)
+
+
+# ----------------------------------------------------------------------
+# CONC004: declared footprint narrower than reachable effects
+# ----------------------------------------------------------------------
+NARROW_FOOTPRINT = """\
+from repro.analysis.context import context
+
+@context("worker-process", reads=("channel",), writes=())
+def task(graph, key):
+    graph.add_edge_demand(key, 1)
+"""
+
+EXACT_FOOTPRINT = """\
+from repro.analysis.context import context
+
+@context("worker-process", reads=("channel",), writes=("global.demand",))
+def task(graph, channel, key):
+    channel.sync()
+    graph.add_edge_demand(key, 1)
+"""
+
+
+class TestDeclaredFootprint:
+    def test_undeclared_write_fires_conc004(self):
+        assert "CONC004" in codes(NARROW_FOOTPRINT)
+
+    def test_exact_footprint_is_clean(self):
+        assert codes(EXACT_FOOTPRINT) == []
+
+
+# ----------------------------------------------------------------------
+# CONC005: fan-in consumed in non-submission order
+# ----------------------------------------------------------------------
+# The PR-8 batch-index backfill bug: results were collected into a set
+# and drained with pop(), so merge order followed hash order instead
+# of submission order.
+BATCH_BACKFILL = """\
+from repro.analysis.context import context
+
+@context("canonical")
+def merge(pool, batch):
+    results = set(pool.run(route, batch))
+    while results:
+        commit(results.pop())
+"""
+
+AS_COMPLETED_MERGE = """\
+from concurrent.futures import as_completed
+from repro.analysis.context import context
+
+@context("canonical")
+def merge(futures):
+    for future in as_completed(futures):
+        commit(future.result())
+"""
+
+SUBMISSION_ORDER_MERGE = """\
+from repro.analysis.context import context
+
+@context("canonical")
+def merge(pool, batch):
+    results = pool.run(route, batch)
+    for result in results:
+        commit(result)
+"""
+
+
+class TestFanInOrder:
+    def test_set_drain_fires_conc005(self):
+        assert "CONC005" in codes(BATCH_BACKFILL)
+
+    def test_as_completed_fires_conc005(self):
+        assert "CONC005" in codes(AS_COMPLETED_MERGE)
+
+    def test_list_order_merge_is_clean(self):
+        assert codes(SUBMISSION_ORDER_MERGE) == []
+
+    def test_only_canonical_contexts_are_judged(self):
+        uncontexted = BATCH_BACKFILL.replace(
+            '@context("canonical")\n', ""
+        )
+        assert "CONC005" not in codes(uncontexted)
+
+
+# ----------------------------------------------------------------------
+# CONC006: shared-memory lifecycle
+# ----------------------------------------------------------------------
+LEAKED_SEGMENT = """\
+from multiprocessing import shared_memory
+
+def leak():
+    seg = shared_memory.SharedMemory(name="x", create=True, size=64)
+    seg.buf[0] = 1
+"""
+
+HAPPY_PATH_ONLY_CLOSE = """\
+from multiprocessing import shared_memory
+
+def leak():
+    seg = shared_memory.SharedMemory(name="x", create=True, size=64)
+    seg.buf[0] = 1
+    seg.close()
+"""
+
+GUARDED_SEGMENT = """\
+from multiprocessing import shared_memory
+
+def hold():
+    seg = shared_memory.SharedMemory(name="x", create=True, size=64)
+    try:
+        seg.buf[0] = 1
+    except Exception:
+        seg.close()
+        seg.unlink()
+        raise
+    return 1
+"""
+
+RETURNED_SEGMENT = """\
+from multiprocessing import shared_memory
+
+def make():
+    seg = shared_memory.SharedMemory(name="x", create=True, size=64)
+    return seg
+"""
+
+SELF_OWNED_SEGMENT = """\
+from multiprocessing import shared_memory
+
+class Channel:
+    def open(self):
+        self._seg = shared_memory.SharedMemory(
+            name="x", create=True, size=64
+        )
+"""
+
+
+class TestSharedMemoryLifecycle:
+    def test_unprotected_create_fires_conc006(self):
+        assert "CONC006" in codes(LEAKED_SEGMENT)
+
+    def test_happy_path_close_still_fires(self):
+        # close() on the success path only: an exception between the
+        # create and the close still leaks the segment.
+        assert "CONC006" in codes(HAPPY_PATH_ONLY_CLOSE)
+
+    def test_failure_path_cleanup_is_clean(self):
+        assert codes(GUARDED_SEGMENT) == []
+
+    def test_returned_segment_is_clean(self):
+        assert codes(RETURNED_SEGMENT) == []
+
+    def test_self_owned_segment_is_clean(self):
+        assert codes(SELF_OWNED_SEGMENT) == []
+
+
+# ----------------------------------------------------------------------
+# The tombstone self-release regression (PR 8)
+# ----------------------------------------------------------------------
+# The speculation force-claimed a node from a foreign net, trimmed it
+# away, and the merge replay then released it against the *live* grid
+# keyed on the speculating net — a base-state write outside the
+# overlay/delta surface.
+TOMBSTONE_SELF_RELEASE = """\
+from repro.analysis.context import context
+
+@context("speculative")
+def replay_trim(grid, overlay, net, node):
+    if overlay.owner(node) is None:
+        grid.release(node, net)
+"""
+
+TOMBSTONE_VIA_OVERLAY = """\
+from repro.analysis.context import context
+
+@context("speculative")
+def replay_trim(grid, net, node):
+    overlay = grid.speculative_overlay()
+    if overlay.owner(node) is None:
+        overlay.release(node, net)
+"""
+
+
+class TestTombstoneRegression:
+    def test_live_grid_release_fires_conc001(self):
+        assert "CONC001" in codes(TOMBSTONE_SELF_RELEASE)
+
+    def test_overlay_release_is_clean(self):
+        assert codes(TOMBSTONE_VIA_OVERLAY) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions and rule filtering
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_allow_comment_suppresses(self):
+        suppressed = SPECULATIVE_BASE_WRITE.replace(
+            "grid.release(net, net)",
+            "grid.release(net, net)  # repro: allow-CONC001 replay",
+        )
+        assert "CONC001" not in codes(suppressed)
+
+    def test_dead_suppression_is_reported(self, tmp_path):
+        path = tmp_path / "corpus.py"
+        path.write_text(
+            SPECULATIVE_CLEAN.replace(
+                "overlay.occupy(net, net)",
+                "overlay.occupy(net, net)  # repro: allow-CONC001",
+            ),
+            encoding="utf-8",
+        )
+        report = analyze_paths([str(path)])
+        assert report.ok
+        assert len(report.dead_suppressions) == 1
+        assert report.dead_suppressions[0].codes == ("CONC001",)
+
+    def test_quoted_syntax_in_string_is_inert(self, tmp_path):
+        path = tmp_path / "corpus.py"
+        path.write_text(
+            'HOWTO = "silence with # repro: allow-CONC001"\n',
+            encoding="utf-8",
+        )
+        report = analyze_paths([str(path)])
+        assert report.dead_suppressions == []
+
+    def test_rule_filter_default_is_every_rule(self):
+        assert resolve_races_rule_filter() == frozenset(CONC_RULES)
+
+    def test_rule_filter_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            resolve_races_rule_filter(select=["CONC999"])
+
+
+# ----------------------------------------------------------------------
+# CLI and baseline
+# ----------------------------------------------------------------------
+class TestRacesCli:
+    @pytest.fixture()
+    def dirty_path(self, tmp_path):
+        path = tmp_path / "corpus.py"
+        path.write_text(SPECULATIVE_BASE_WRITE, encoding="utf-8")
+        return path
+
+    def test_findings_exit_one(self, dirty_path, monkeypatch, capsys):
+        monkeypatch.chdir(dirty_path.parent)
+        assert main(["races", str(dirty_path)]) == 1
+        out = capsys.readouterr().out
+        assert "CONC001" in out and "hint:" in out
+
+    def test_json_format(self, dirty_path, monkeypatch, capsys):
+        monkeypatch.chdir(dirty_path.parent)
+        assert main(["races", "--format", "json", str(dirty_path)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["findings"][0]["rule"] == "CONC001"
+        assert document["findings"][0]["fix_hint"]
+
+    def test_ignore_passes(self, dirty_path, monkeypatch):
+        monkeypatch.chdir(dirty_path.parent)
+        assert (
+            main(["races", "--ignore", "CONC001", str(dirty_path)]) == 0
+        )
+
+    def test_unknown_code_is_usage_error(
+        self, dirty_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(dirty_path.parent)
+        assert main(["races", "--select", "CONC999", str(dirty_path)]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_update_baseline_grandfathers(
+        self, dirty_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(dirty_path.parent)
+        assert main(["races", "--update-baseline", str(dirty_path)]) == 0
+        assert "1 added, 0 pruned" in capsys.readouterr().out
+        assert main(["races", str(dirty_path)]) == 0
+
+    def test_new_finding_fails_despite_baseline(
+        self, dirty_path, monkeypatch
+    ):
+        monkeypatch.chdir(dirty_path.parent)
+        assert main(["races", "--update-baseline", str(dirty_path)]) == 0
+        dirty_path.write_text(
+            SPECULATIVE_BASE_WRITE + SPECULATIVE_BASE_READ.replace(
+                "from repro.analysis.context import context\n", ""
+            ),
+            encoding="utf-8",
+        )
+        assert main(["races", str(dirty_path)]) == 1
+
+    def test_update_baseline_prunes_fixed_findings(
+        self, dirty_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(dirty_path.parent)
+        assert main(["races", "--update-baseline", str(dirty_path)]) == 0
+        capsys.readouterr()
+        dirty_path.write_text(SPECULATIVE_CLEAN, encoding="utf-8")
+        assert main(["races", "--update-baseline", str(dirty_path)]) == 0
+        assert "0 added, 1 pruned" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The repository's own engine is clean
+# ----------------------------------------------------------------------
+class TestSrcIsClean:
+    def test_src_passes_under_committed_baseline(self):
+        # Committed baseline is empty: the engine must stay CONC-clean
+        # outright, and this gate catches any marker drift.
+        report = analyze_paths(["src"])
+        assert report.ok, render_races(report)

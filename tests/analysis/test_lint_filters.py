@@ -104,3 +104,57 @@ class TestCliFlags:
         code = main(["lint", str(snippet_path), "--select", "DET999"])
         assert code == 2
         assert "unknown rule code" in capsys.readouterr().err
+
+
+class TestDeadSuppressions:
+    def test_live_suppression_is_not_dead(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            SNIPPET.replace(
+                "for net in nets:",
+                "for net in nets:  # repro: allow-DET001 corpus",
+            ),
+            encoding="utf-8",
+        )
+        report = lint_paths([str(path)])
+        assert report.suppressed == 1
+        assert report.dead_suppressions == []
+
+    def test_stale_suppression_is_reported(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            "for net in [1, 2]:  # repro: allow-DET001\n    print(net)\n",
+            encoding="utf-8",
+        )
+        report = lint_paths([str(path)])
+        assert report.ok
+        assert len(report.dead_suppressions) == 1
+        assert report.dead_suppressions[0].codes == ("DET001",)
+        from repro.analysis import render_findings
+
+        assert "dead suppression" in render_findings(report)
+
+    def test_quoted_syntax_in_string_is_inert(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            'HOWTO = "append # repro: allow-DET001 to the line"\n',
+            encoding="utf-8",
+        )
+        report = lint_paths([str(path)])
+        assert report.dead_suppressions == []
+
+
+class TestUpdateBaselineChurn:
+    def test_prune_and_add_counts(self, snippet_path, monkeypatch, capsys):
+        monkeypatch.chdir(snippet_path.parent)
+        assert main(["lint", "--update-baseline", str(snippet_path)]) == 0
+        assert "2 added, 0 pruned" in capsys.readouterr().out
+        snippet_path.write_text(
+            "def choose(nets: set, acc=[]):\n    return sorted(nets)\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", "--update-baseline", str(snippet_path)]) == 0
+        out = capsys.readouterr().out
+        # DET004 (mutable default) survives with the same fingerprint;
+        # the fixed DET001 fingerprint is pruned.
+        assert "0 added, 1 pruned" in out
