@@ -95,6 +95,7 @@ from repro.observe import (
     diff_traces,
     render_diff,
 )
+from repro.observe import schema
 
 BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
 
@@ -504,7 +505,7 @@ def strip_parallel_counters(trace: RunTrace) -> RunTrace:
     conflicts, pooled tasks) have no serial counterpart, so a parallel
     gate run strips them before diffing against the serial baseline.
     """
-    return _strip_prefixed(trace, ("parallel_",))
+    return _strip_prefixed(trace, schema.strip_prefixes("scheduling"))
 
 
 def strip_profile_counters(trace: RunTrace) -> RunTrace:
@@ -516,7 +517,9 @@ def strip_profile_counters(trace: RunTrace) -> RunTrace:
     unprofiled run — which is what lets a profiled gate run diff
     against the committed (profile-off) baselines.
     """
-    return _strip_prefixed(trace, ("perf_", "stream_"))
+    return _strip_prefixed(
+        trace, schema.strip_prefixes("profiling", "streaming")
+    )
 
 
 def save_traces(path: pathlib.Path, traces: Dict[str, RunTrace]) -> None:

@@ -1,6 +1,6 @@
 """Static and dynamic analysis for the correctness contracts.
 
-Five enforcement layers (see ``docs/static_analysis.md``):
+Six enforcement layers (see ``docs/static_analysis.md``):
 
 * :mod:`~repro.analysis.lint` — an AST-based determinism linter
   (rules DET001–DET005, ``repro lint`` on the CLI) guarding the
@@ -10,8 +10,13 @@ Five enforcement layers (see ``docs/static_analysis.md``):
   proves speculative and process-worker code touches shared state
   only through the declared channels, seeded by
   :func:`~repro.analysis.context.context` markers;
+* :mod:`~repro.analysis.parity` — a static cross-backend parity
+  analyzer (rules PAR001–PAR006, ``repro parity`` on the CLI) that
+  diffs the effect signatures of callables declared equivalent with
+  :func:`~repro.analysis.pairing.paired` markers and checks every
+  emitted metric name against :mod:`repro.observe.schema`;
 * :mod:`~repro.analysis.baseline` — committed grandfathering of
-  pre-existing lint/races findings;
+  pre-existing lint/races/parity findings;
 * :mod:`~repro.analysis.sanitize` — a dynamic speculation-footprint
   sanitizer (``RouterConfig(sanitize=True)`` / ``--sanitize``);
 * :mod:`~repro.analysis.audit` — an independent DRC-style solution
@@ -37,6 +42,7 @@ from .audit import (
 )
 from .baseline import (
     DEFAULT_BASELINE_NAME,
+    DEFAULT_PARITY_BASELINE_NAME,
     DEFAULT_RACES_BASELINE_NAME,
     Baseline,
     save_baseline,
@@ -59,7 +65,22 @@ from .lint import (
     render_findings,
     resolve_rule_filter,
 )
-from .rules import AUDIT_RULES, CONC_RULES, RULES, Rule, rule_catalog
+from .pairing import BACKEND_KINDS, paired
+from .parity import (
+    ParityReport,
+    analyze_parity_paths,
+    analyze_parity_source,
+    render_parity,
+    resolve_parity_rule_filter,
+)
+from .rules import (
+    AUDIT_RULES,
+    CONC_RULES,
+    PAR_RULES,
+    RULES,
+    Rule,
+    rule_catalog,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import-time types only
     from .sanitize import (
@@ -87,14 +108,18 @@ __all__ = [
     "AUDIT_RULES",
     "AuditFinding",
     "AuditReport",
+    "BACKEND_KINDS",
     "Baseline",
     "CONC_RULES",
     "CounterDrift",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_PARITY_BASELINE_NAME",
     "DEFAULT_RACES_BASELINE_NAME",
     "DeadSuppression",
     "Finding",
     "LintReport",
+    "PAR_RULES",
+    "ParityReport",
     "RULES",
     "RaceReport",
     "Rule",
@@ -102,6 +127,8 @@ __all__ = [
     "SanitizedGraphSnapshot",
     "SanitizedGridOverlay",
     "SanitizerViolation",
+    "analyze_parity_paths",
+    "analyze_parity_source",
     "analyze_paths",
     "analyze_source",
     "audit_solution",
@@ -110,9 +137,12 @@ __all__ = [
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "paired",
     "render_audit",
     "render_findings",
+    "render_parity",
     "render_races",
+    "resolve_parity_rule_filter",
     "resolve_races_rule_filter",
     "resolve_rule_filter",
     "rule_catalog",

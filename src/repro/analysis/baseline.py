@@ -6,13 +6,15 @@ grandfathered findings are reported but do not fail the run, while any
 *new* finding does.  Fingerprints are ``(path, rule, stripped line
 text)`` — stable across unrelated edits that only shift line numbers.
 
-Two gates share this machinery, distinguished by the ``format`` field
-in the file header:
+Three gates share this machinery, distinguished by the ``format``
+field in the file header:
 
 * the determinism linter — ``lint-baseline.json`` at the repo root,
   rewritten by ``repro lint --update-baseline``;
 * the concurrency analyzer — ``races-baseline.json``, rewritten by
-  ``repro races --update-baseline``.
+  ``repro races --update-baseline``;
+* the cross-backend parity analyzer — ``parity-baseline.json``,
+  rewritten by ``repro parity --update-baseline``.
 """
 
 from __future__ import annotations
@@ -29,12 +31,18 @@ BASELINE_VERSION = 1
 #: ``format`` header and default file name of the races baseline.
 RACES_BASELINE_FORMAT = "repro-races-baseline"
 
+#: ``format`` header of the cross-backend parity baseline.
+PARITY_BASELINE_FORMAT = "repro-parity-baseline"
+
 #: File name probed in the working directory when ``--baseline`` is
 #: not given.
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
 #: Same, for ``repro races``.
 DEFAULT_RACES_BASELINE_NAME = "races-baseline.json"
+
+#: Same, for ``repro parity``.
+DEFAULT_PARITY_BASELINE_NAME = "parity-baseline.json"
 
 
 class Baseline:

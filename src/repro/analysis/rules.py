@@ -1,6 +1,6 @@
-"""The analysis rule catalogs (DET001–DET005, AUD001–AUD007, CONC001–CONC006).
+"""The analysis rule catalogs (DET, AUD, CONC, PAR).
 
-Three catalogs share the :class:`Rule` record:
+Four catalogs share the :class:`Rule` record:
 
 * the **DET** rules state the code-level conventions the serial-
   equivalence contract of the parallel engine rests on (see
@@ -20,6 +20,13 @@ Three catalogs share the :class:`Rule` record:
   channels.  The static concurrency-effect analyzer in
   :mod:`~repro.analysis.concurrency` enforces them over the call
   graph, seeded by ``@repro.analysis.context(...)`` markers.
+* the **PAR** rules state the cross-backend equivalence discipline:
+  implementations declared as backend pairs
+  (``@repro.analysis.paired(...)``) must agree on every externally
+  observable effect — counters, trace events, config consumption,
+  exceptions, and call signatures — and every observability name must
+  be declared in the :mod:`~repro.observe.schema` registry.  The
+  parity analyzer in :mod:`~repro.analysis.parity` enforces them.
 
 ``docs/static_analysis.md`` discusses every rule with examples.
 """
@@ -377,12 +384,138 @@ CONC_RULES: dict[str, Rule] = {
     for r in (CONC001, CONC002, CONC003, CONC004, CONC005, CONC006)
 }
 
+PAR001 = Rule(
+    code="PAR001",
+    title="counter bumped in one backend of a pair only",
+    rationale=(
+        "Paired backends must reproduce the committed trace baselines "
+        "byte for byte — the counters ARE the quality metrics (#VV, "
+        "stitch evaluations, expansion totals) the paper reports.  A "
+        "counter one member bumps and the other never mentions "
+        "guarantees a diff on the first workload that reaches it, "
+        "found at lint time instead of by the differential suite."
+    ),
+    fix_hint=(
+        "bump the counter in both backends (or hoist it into the "
+        "shared caller so neither backend owns it); if the divergence "
+        "is genuinely backend-local bookkeeping, give it a strippable "
+        "prefix (perf_/parallel_) or suppress with "
+        "# repro: allow-PAR001 <why>"
+    ),
+    routing_only=False,
+)
+
+PAR002 = Rule(
+    code="PAR002",
+    title="trace span/gauge/progress event emitted in one backend only",
+    rationale=(
+        "Spans, gauges, and progress events form the observable shape "
+        "of a run; trace diffing, the watch monitor, and the committed "
+        "BENCH baselines all assume that shape is backend-invariant. "
+        "A span or gauge only one pair member emits makes traces "
+        "structurally incomparable across backends."
+    ),
+    fix_hint=(
+        "emit the event in both backends or move it to the shared "
+        "orchestration layer above the pair; suppress with "
+        "# repro: allow-PAR002 <why> if the event is intentionally "
+        "backend-specific"
+    ),
+    routing_only=False,
+)
+
+PAR003 = Rule(
+    code="PAR003",
+    title="RouterConfig field consumed by one backend of a pair only",
+    rationale=(
+        "A config knob only one backend reads is a semantic fork: the "
+        "same RouterConfig routes differently depending on which "
+        "member runs, and no differential circuit that leaves the "
+        "knob at its default will ever notice.  Every field a pair "
+        "member consults must be consulted (or provably irrelevant) "
+        "in its twin."
+    ),
+    fix_hint=(
+        "thread the config field through both implementations, or "
+        "resolve it in the shared caller and pass the resolved value "
+        "down; suppress with # repro: allow-PAR003 <why> when the "
+        "field selects between the backends themselves"
+    ),
+    routing_only=False,
+)
+
+PAR004 = Rule(
+    code="PAR004",
+    title="divergent exception or shared-state op surface between "
+    "paired backends",
+    rationale=(
+        "Callers of a paired contract handle the reference "
+        "implementation's failure modes and rely on both members "
+        "driving the same overlay/journal/channel vocabulary; an "
+        "exception type or shared-state operation only one member "
+        "uses turns an equivalent-but-faster path into one with new "
+        "crash modes or a different mutation footprint."
+    ),
+    fix_hint=(
+        "raise the same exception types and apply the same "
+        "overlay/delta operations from both members (wrap "
+        "backend-internal errors at the boundary); suppress with "
+        "# repro: allow-PAR004 <why> for genuinely "
+        "backend-impossible conditions"
+    ),
+    routing_only=False,
+)
+
+PAR005 = Rule(
+    code="PAR005",
+    title="counter/gauge name missing from the observe schema registry",
+    rationale=(
+        "repro.observe.schema is the single source of truth for every "
+        "observability name — the regression gate's strip lists, the "
+        "perf-history columns, and backend-coverage checks all derive "
+        "from it.  An unregistered name is invisible to all of them: "
+        "it cannot be stripped, tracked, or parity-checked."
+    ),
+    fix_hint=(
+        "register the name in repro/observe/schema.py with its owner "
+        "stage, backend coverage, and category (or fix the typo — "
+        "unregistered names are usually misspellings of registered "
+        "ones)"
+    ),
+    routing_only=False,
+)
+
+PAR006 = Rule(
+    code="PAR006",
+    title="paired callables with drifting signatures or defaults",
+    rationale=(
+        "Backend pairs are dispatched by a shared caller that builds "
+        "one argument list; members whose parameter names, order, or "
+        "defaults drift can only be called through backend-specific "
+        "glue, and a default that differs between members silently "
+        "changes behavior when the caller omits the argument."
+    ),
+    fix_hint=(
+        "align parameter names, order, and default values across the "
+        "pair (the self/receiver parameter is exempt); suppress with "
+        "# repro: allow-PAR006 <why> where the extra parameter is the "
+        "backend's own state handle"
+    ),
+    routing_only=False,
+)
+
+#: All cross-backend parity rules, keyed by code, in catalog order.
+PAR_RULES: dict[str, Rule] = {
+    r.code: r
+    for r in (PAR001, PAR002, PAR003, PAR004, PAR005, PAR006)
+}
+
 
 def rule_catalog() -> dict[str, Rule]:
     """Every known rule across all catalogs, keyed by code.
 
     The merged lookup table behind
     :func:`~repro.analysis.findings.fix_hint_for` — rule codes are
-    globally unique across the DET/AUD/CONC families.
+    globally unique across the DET/AUD/CONC/PAR families.
     """
-    return {**RULES, **AUDIT_RULES, **CONC_RULES}
+    return {**RULES, **AUDIT_RULES, **CONC_RULES, **PAR_RULES}

@@ -62,6 +62,7 @@ from .config import RouterConfig
 from .api import BaselineRouter, StitchAwareRouter
 from .eval import RoutingReport
 from .io import save_design, save_report
+from .observe import schema as observe_schema
 from .observe import (
     DiffThresholds,
     LoggingTracer,
@@ -262,6 +263,16 @@ def _cmd_trace_show(args: argparse.Namespace) -> int:
     trace = load_trace_file(args.trace, key=args.key)
     fmt = "markdown" if args.markdown else "plain"
     print(render_summary(TraceSummary.from_trace(trace), fmt=fmt))
+    unregistered = sorted(
+        name
+        for name in trace.aggregate_counters()
+        if not observe_schema.is_registered("counter", name)
+    )
+    if unregistered:
+        print(
+            "warning: counters missing from repro.observe.schema: "
+            + ", ".join(unregistered)
+        )
     return 0
 
 
@@ -437,6 +448,193 @@ def _cmd_races(args: argparse.Namespace) -> int:
     else:
         print(render_races(report))
     return 0 if report.ok else 1
+
+
+def _cmd_parity(args: argparse.Namespace) -> int:
+    # Imported here for the same reason as the linter.
+    from .analysis import (
+        Baseline,
+        analyze_parity_paths,
+        render_parity,
+    )
+    from .analysis.baseline import (
+        DEFAULT_PARITY_BASELINE_NAME,
+        PARITY_BASELINE_FORMAT,
+    )
+
+    paths = args.paths or ["src"]
+    select = _rule_codes(args.select)
+    ignore = _rule_codes(args.ignore)
+    baseline_path = pathlib.Path(
+        args.baseline or DEFAULT_PARITY_BASELINE_NAME
+    )
+    try:
+        if args.update_baseline:
+            report = analyze_parity_paths(
+                paths, select=select, ignore=ignore
+            )
+            status = _update_baseline(
+                baseline_path,
+                report.findings,
+                format=PARITY_BASELINE_FORMAT,
+            )
+            for line in _dead_suppression_warnings(report):
+                print(line, file=sys.stderr)
+            return status
+        fingerprints: frozenset = frozenset()
+        if baseline_path.exists():
+            fingerprints = Baseline.load(
+                baseline_path, format=PARITY_BASELINE_FORMAT
+            ).fingerprints
+        report = analyze_parity_paths(
+            paths,
+            baseline_fingerprints=fingerprints,
+            select=select,
+            ignore=ignore,
+        )
+    except ValueError as error:  # unknown rule codes -> usage error
+        print(f"repro parity: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        document = {
+            "findings": [f.to_dict() for f in report.findings],
+            "grandfathered": [f.to_dict() for f in report.grandfathered],
+            "suppressed": report.suppressed,
+            "dead_suppressions": [
+                d.to_dict() for d in report.dead_suppressions
+            ],
+            "files": report.files,
+            "pairs": report.pairs,
+            "ok": report.ok,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_parity(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Umbrella static gate: lint + races + parity in one run.
+
+    Each analyzer loads its own default committed baseline, exactly as
+    the standalone commands do; ``--mypy`` / ``--ruff`` additionally
+    shell out to those tools when installed.  The exit code is the
+    conjunction of every gate.
+    """
+    import importlib.util
+    import subprocess
+
+    from .analysis import (
+        Baseline,
+        analyze_parity_paths,
+        analyze_paths,
+        lint_paths,
+        render_findings,
+        render_parity,
+        render_races,
+    )
+    from .analysis.baseline import (
+        BASELINE_FORMAT,
+        DEFAULT_BASELINE_NAME,
+        DEFAULT_PARITY_BASELINE_NAME,
+        DEFAULT_RACES_BASELINE_NAME,
+        PARITY_BASELINE_FORMAT,
+        RACES_BASELINE_FORMAT,
+    )
+
+    paths = args.paths or ["src"]
+
+    def baseline(name: str, format: str) -> frozenset:
+        path = pathlib.Path(name)
+        if path.exists():
+            return Baseline.load(path, format=format).fingerprints
+        return frozenset()
+
+    reports = {
+        "lint": lint_paths(
+            paths,
+            baseline_fingerprints=baseline(
+                DEFAULT_BASELINE_NAME, BASELINE_FORMAT
+            ),
+        ),
+        "races": analyze_paths(
+            paths,
+            baseline_fingerprints=baseline(
+                DEFAULT_RACES_BASELINE_NAME, RACES_BASELINE_FORMAT
+            ),
+        ),
+        "parity": analyze_parity_paths(
+            paths,
+            baseline_fingerprints=baseline(
+                DEFAULT_PARITY_BASELINE_NAME, PARITY_BASELINE_FORMAT
+            ),
+        ),
+    }
+    renderers = {
+        "lint": render_findings,
+        "races": render_races,
+        "parity": render_parity,
+    }
+
+    external: dict[str, dict] = {}
+    for tool, wanted in (("mypy", args.mypy), ("ruff", args.ruff)):
+        if not wanted:
+            continue
+        if importlib.util.find_spec(tool) is None:
+            print(
+                f"repro check: --{tool} requested but {tool} is not "
+                f"installed",
+                file=sys.stderr,
+            )
+            return 2
+        command = [sys.executable, "-m", tool]
+        if tool == "ruff":
+            command.append("check")
+        command.extend(paths)
+        proc = subprocess.run(command, capture_output=True, text=True)
+        external[tool] = {
+            "ok": proc.returncode == 0,
+            "exit_code": proc.returncode,
+            "output": (proc.stdout + proc.stderr).strip(),
+        }
+
+    ok = all(report.ok for report in reports.values()) and all(
+        entry["ok"] for entry in external.values()
+    )
+    if args.format == "json":
+        document: dict = {"ok": ok}
+        for name, report in reports.items():
+            section = {
+                "findings": [f.to_dict() for f in report.findings],
+                "grandfathered": [
+                    f.to_dict() for f in report.grandfathered
+                ],
+                "suppressed": report.suppressed,
+                "dead_suppressions": [
+                    d.to_dict() for d in report.dead_suppressions
+                ],
+                "files": report.files,
+                "ok": report.ok,
+            }
+            if name == "parity":
+                section["pairs"] = report.pairs
+            document[name] = section
+        document.update(external)
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for name, report in reports.items():
+            print(f"== {name} ==")
+            print(renderers[name](report))
+        for tool, entry in external.items():
+            print(f"== {tool} ==")
+            if entry["output"]:
+                print(entry["output"])
+            print(
+                f"{tool}: "
+                f"{'ok' if entry['ok'] else 'exit ' + str(entry['exit_code'])}"
+            )
+        print(f"check: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -695,6 +893,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated CONC codes to skip",
     )
     races.set_defaults(func=_cmd_races)
+
+    parity = sub.add_parser(
+        "parity",
+        help="static cross-backend parity analyzer "
+        "(PAR rules, docs/static_analysis.md)",
+    )
+    parity.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    parity.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parity.add_argument(
+        "--baseline",
+        metavar="JSON",
+        help="baseline file of grandfathered findings "
+        "(default: ./parity-baseline.json when present)",
+    )
+    parity.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    parity.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated PAR codes to check (default: all rules)",
+    )
+    parity.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated PAR codes to skip",
+    )
+    parity.set_defaults(func=_cmd_parity)
+
+    check = sub.add_parser(
+        "check",
+        help="umbrella static gate: lint + races + parity "
+        "(one exit code; --mypy/--ruff add the external tools)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    check.add_argument(
+        "--mypy",
+        action="store_true",
+        help="also run mypy on the paths (error if not installed)",
+    )
+    check.add_argument(
+        "--ruff",
+        action="store_true",
+        help="also run ruff check on the paths (error if not installed)",
+    )
+    check.set_defaults(func=_cmd_check)
 
     audit = sub.add_parser(
         "audit",

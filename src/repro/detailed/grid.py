@@ -222,7 +222,12 @@ class DetailedGrid:
             passable, extra = self._passable(succ, net, foreign_penalty)
             if passable:
                 out.append(
-                    (succ, config.alpha + self._node_cost(succ) + extra)
+                    (
+                        succ,
+                        config.alpha  # repro: allow-PAR003 array core bakes alpha in
+                        + self._node_cost(succ)
+                        + extra,
+                    )
                 )
         for succ in ((x, y, layer - 1), (x, y, layer + 1)):
             passable, extra = self._passable(succ, net, foreign_penalty)
@@ -232,7 +237,8 @@ class DetailedGrid:
                 continue  # via constraint (hard)
             cost = config.alpha + self._node_cost(succ) + extra
             if self.stitch_aware and self._unfriendly[x]:
-                cost += config.beta  # via in stitch unfriendly region
+                # via in stitch unfriendly region
+                cost += config.beta  # repro: allow-PAR003 array core bakes beta into its cost tables
             out.append((succ, cost))
         self.cost_evaluations += len(out)
         return out
@@ -271,7 +277,7 @@ class DetailedGrid:
             return 0.0
         x, _y, layer = node
         if self._vertical[layer] and self._escape[x]:
-            return self.config.gamma
+            return self.config.gamma  # repro: allow-PAR003 array core bakes gamma into its cost tables
         return 0.0
 
 

@@ -39,6 +39,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..analysis.pairing import paired
 from ..config import RouterConfig
 from ..detailed.grid import DetailedGrid, Node
 from ..detailed.overlay import GridOverlay, _OwnerOverlay
@@ -107,9 +108,10 @@ class _IndexedSearchMixin:
 
     def _net_id(self, net: str) -> int:
         """Integer id of ``net`` in the ownership array (never 0)."""
-        raise NotImplementedError
+        raise NotImplementedError  # repro: allow-PAR004 abstract hook; concrete engines override
 
-    def indexed_search(
+    @paired("detailed-astar", backend="array")
+    def indexed_search(  # repro: allow-PAR006 the grid argument is the receiver on this side
         self,
         net: str,
         sources: set[Node],

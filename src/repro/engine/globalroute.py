@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.pairing import paired
 from ..globalroute.cost import edge_cost_if_used, vertex_price
 from ..globalroute.graph import GlobalGraph, Tile
 from ..globalroute.overlay import GraphSnapshot
@@ -115,7 +116,8 @@ class _CostCacheMixin:
         self._v_price[i][j] = vertex_price(self._as_graph(), tile)
 
     # -- indexed A* ------------------------------------------------------
-    def astar_in_window(
+    @paired("global-maze", backend="array")
+    def astar_in_window(  # repro: allow-PAR006 graph is self here; caller passes stitch/profile
         self,
         src: Tile,
         dst: Tile,

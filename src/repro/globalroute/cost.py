@@ -56,7 +56,10 @@ def edge_cost_if_used(graph: GlobalGraph, key: tuple[str, int, int]) -> float:
         graph.h_history[i, j] if kind == "h" else graph.v_history[i, j]
     )
     return (
-        congestion_cost(graph.edge_demand(key) + 1, graph.edge_capacity(key))
+        congestion_cost(
+            graph.edge_demand(key) + 1,  # repro: allow-PAR004 array reads via price cache
+            graph.edge_capacity(key),  # repro: allow-PAR004 array reads via price cache
+        )
         + history
     )
 

@@ -215,7 +215,9 @@ class GlobalGraph:
             return ("h", min(ia, ib), ja)
         if ia == ib and abs(ja - jb) == 1:
             return ("v", ia, min(ja, jb))
-        raise ValueError(f"tiles {a} and {b} are not adjacent")
+        raise ValueError(  # repro: allow-PAR004 adjacency guard; array core indexes directly
+            f"tiles {a} and {b} are not adjacent"
+        )
 
     def edge_capacity(self, key: tuple[str, int, int]) -> int:
         """Capacity of the edge ``key``."""

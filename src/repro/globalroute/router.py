@@ -36,6 +36,7 @@ from .cost import (
     vertex_price,
 )
 from ..analysis.context import context
+from ..analysis.pairing import paired
 from .graph import GlobalGraph, Tile
 from .overlay import windows_hit
 
@@ -681,6 +682,7 @@ class GlobalRouter:
             path = self._astar_in_window(graph, src, dst, full, stats)
         return path
 
+    @paired("global-maze", backend="object")
     def _astar_in_window(
         self,
         graph: GlobalGraph,

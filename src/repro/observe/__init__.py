@@ -15,8 +15,15 @@ Flows run with ``RouterConfig(audit=True)`` add an ``audit`` span
 whose ``audit_nets_checked`` / ``audit_findings`` / ``audit_drift``
 counters summarize the independent solution audit
 (:mod:`repro.analysis.audit`); default-config traces are unchanged.
+
+Every name a tracer may record is declared in
+:mod:`~repro.observe.schema` — the canonical registry of counters,
+gauges, spans, and progress kinds with their owner stage and backend
+coverage.  The regression gate's strip lists, the perf-history
+columns, and the static PAR005 parity rule all derive from it.
 """
 
+from . import schema
 from .analytics import (
     CounterDelta,
     DiffThresholds,
@@ -39,6 +46,17 @@ from .log import (
     TRACE_LOGGER_NAME,
     LoggingTracer,
     configure_logging,
+)
+from .schema import (
+    ALL_BACKENDS,
+    CATEGORY_PREFIXES,
+    MetricSpec,
+    history_counters,
+    is_registered,
+    lookup,
+    metric_names,
+    metric_specs,
+    strip_prefixes,
 )
 from .stream import (
     STREAM_FORMAT,
@@ -65,6 +83,9 @@ from .watch import (
 )
 
 __all__ = [
+    "ALL_BACKENDS",
+    "CATEGORY_PREFIXES",
+    "MetricSpec",
     "STREAM_FORMAT",
     "STREAM_SUFFIXES",
     "STREAM_VERSION",
@@ -91,14 +112,21 @@ __all__ = [
     "diff_traces",
     "ensure",
     "follow_events",
+    "history_counters",
     "hotspots",
+    "is_registered",
     "iter_stream_events",
     "load_trace_file",
+    "lookup",
+    "metric_names",
+    "metric_specs",
     "read_stream",
     "read_stream_text",
     "render_diff",
     "render_hotspots",
     "render_perf_history",
     "render_summary",
+    "schema",
+    "strip_prefixes",
     "watch_stream",
 ]

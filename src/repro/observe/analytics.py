@@ -29,6 +29,7 @@ from collections.abc import Sequence
 from typing import Optional, Union
 
 from ..reporting import format_table
+from .schema import history_counters
 from .tracer import Number, RunTrace, Span
 
 PathLike = Union[str, pathlib.Path]
@@ -512,14 +513,10 @@ class PerfHistory:
         return not (self.bench_rows or self.engine_rows or self.workers_rows)
 
 
-#: Deterministic whole-run counters worth tracking over time.
-_HISTORY_COUNTERS = (
-    "maze_expansions",
-    "astar_searches",
-    "astar_expansions",
-    "ripup_rounds",
-    "failed_nets",
-)
+#: Deterministic whole-run counters worth tracking over time — the
+#: schema registry's history ranking, which fixes the column order of
+#: the committed trajectory reports.
+_HISTORY_COUNTERS = history_counters()
 
 
 def collect_perf_history(directory: PathLike) -> PerfHistory:

@@ -37,19 +37,21 @@ from .stream import (
     open_stream_text,
     parse_event_line,
 )
+from .schema import history_counters, is_registered
 from .tracer import PathLike
 
 #: Counter names whose span-close totals feed the expansions/s rate.
 _EXPANSION_COUNTERS = ("maze_expansions", "astar_expansions")
 
 #: Span-close counters worth echoing inline (kept short on purpose).
-_NOTABLE_COUNTERS = (
-    "routed_nets",
-    "failed_nets",
-    "maze_expansions",
-    "astar_searches",
-    "ripup_rounds",
-)
+#: The registry sweep caught the original hand-written list carrying a
+#: ``routed_nets`` entry that no stage ever emits (the counter is
+#: ``nets_routed``); deriving from the schema keeps the pick honest.
+_NOTABLE_COUNTERS = ("nets_routed",) + history_counters()
+
+for _name in _EXPANSION_COUNTERS + _NOTABLE_COUNTERS:
+    if not is_registered("counter", _name):
+        raise ValueError(f"watch monitor references unregistered {_name!r}")
 
 
 def follow_events(

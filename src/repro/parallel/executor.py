@@ -23,6 +23,7 @@ from collections.abc import Callable, Sequence
 from typing import Optional, TypeVar
 
 from ..analysis.context import context
+from ..analysis.pairing import paired
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -93,6 +94,7 @@ class BatchExecutor:
 
     # ------------------------------------------------------------------
     @context("canonical")
+    @paired("batch-executor", backend="thread")
     def run(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item concurrently; results in item order.
 

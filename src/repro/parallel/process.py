@@ -32,6 +32,7 @@ from collections.abc import Callable, Sequence
 from typing import Any, Optional
 
 from ..analysis.context import context
+from ..analysis.pairing import paired
 from .executor import validate_workers
 
 
@@ -136,7 +137,8 @@ class ProcessBatchExecutor:
 
     # ------------------------------------------------------------------
     @context("canonical")
-    def run(self, payloads: Sequence[Any]) -> list[Any]:
+    @paired("batch-executor", backend="process")
+    def run(self, payloads: Sequence[Any]) -> list[Any]:  # repro: allow-PAR006 fn via configure()
         """Run one task per payload; results in payload order.
 
         Worker exceptions propagate to the caller exactly as the
@@ -146,7 +148,7 @@ class ProcessBatchExecutor:
         :class:`BrokenProcessPool` says nothing about what was lost.
         """
         if self._task is None:
-            raise RuntimeError(
+            raise RuntimeError(  # repro: allow-PAR004 pool-misuse guard, process-only
                 "ProcessBatchExecutor.run() called before configure()"
             )
         if self._pool is None:
